@@ -1,0 +1,146 @@
+// E10 — CSDF-to-VRDF abstraction (the [15] connection).
+//
+// A cyclo-static actor cycles deterministically through phases with known
+// rates.  Abstracting the phase sequence to the *set* of its values turns
+// the CSDF graph into a VRDF graph whose capacities are sufficient for
+// every phase order — in particular the actual cyclic one.  This bench
+// sizes a CSDF chain through the VRDF abstraction, verifies it in
+// simulation with the true cyclic sequences, and compares against the
+// cycle-aggregated SDF view (which is blind to intra-cycle burstiness and
+// sizes at the coarser granularity).
+#include <iostream>
+
+#include "analysis/buffer_sizing.hpp"
+#include "baseline/traditional.hpp"
+#include "dataflow/csdf_graph.hpp"
+#include "dataflow/sdf_graph.hpp"
+#include "io/table.hpp"
+#include "sim/verify.hpp"
+
+namespace {
+
+using namespace vrdf;
+
+}  // namespace
+
+int main() {
+  std::cout << "E10 — CSDF phase abstraction into VRDF\n\n";
+
+  const Duration ms = milliseconds(Rational(1));
+
+  // First, a deliberately rejected case: a producer with a zero-production
+  // phase (4,0).  True CSDF knows the zero phase is always followed by a
+  // full one; the set abstraction {0,4} loses that order, so under a sink
+  // constraint the producer "may produce nothing forever" and the
+  // analysis must refuse — losing the phase order costs expressiveness.
+  {
+    dataflow::CsdfGraph bursty;
+    const auto p0 = bursty.add_actor("producer", {ms, ms});
+    const auto f0 = bursty.add_actor("filter", {ms});
+    (void)bursty.add_edge(p0, f0, {4, 0}, {2});
+    dataflow::VrdfGraph abstracted;
+    const auto a0 = abstracted.add_actor("producer", ms);
+    const auto b0 = abstracted.add_actor("filter", ms);
+    const auto& e = bursty.to_vrdf().edge(graph::EdgeId(0));
+    (void)abstracted.add_buffer(a0, b0, e.production, e.consumption);
+    const auto rejected = analysis::compute_buffer_capacities(
+        abstracted, analysis::ThroughputConstraint{b0, ms});
+    std::cout << "zero-production phase {4,0} under a sink constraint: "
+              << (rejected.admissible ? "UNEXPECTEDLY ACCEPTED"
+                                      : "rejected (as it must be)")
+              << "\n  diagnostic: "
+              << (rejected.diagnostics.empty() ? "-" : rejected.diagnostics[0])
+              << "\n\n";
+    if (rejected.admissible) {
+      return 1;
+    }
+  }
+
+  // Now the sized case: a bursty but never-idle producer (phases 4,2), a
+  // two-phase filter, and a steady sink.
+  dataflow::CsdfGraph csdf;
+  const auto producer = csdf.add_actor("producer", {ms, ms});
+  const auto filter = csdf.add_actor("filter", {ms, ms});
+  const auto sink = csdf.add_actor("sink", {ms});
+  (void)csdf.add_edge(producer, filter, {4, 2}, {1, 3});
+  (void)csdf.add_edge(filter, sink, {2, 2}, {2});
+
+  const auto reps = csdf.repetition_vector();
+  std::cout << "CSDF repetition vector (firings): ";
+  for (const auto r : *reps) {
+    std::cout << r << ' ';
+  }
+  std::cout << "\n\n";
+
+  // VRDF abstraction: per-edge value sets, worst-case phase response.
+  dataflow::VrdfGraph vrdf_bare = csdf.to_vrdf();
+  // Rebuild as buffers (the conversion yields bare edges; buffer pairing
+  // is the task-level notion the capacity question needs).
+  dataflow::VrdfGraph graph;
+  std::vector<dataflow::ActorId> actors;
+  for (const auto a : vrdf_bare.actors()) {
+    actors.push_back(graph.add_actor(vrdf_bare.actor(a).name,
+                                     vrdf_bare.actor(a).response_time));
+  }
+  std::vector<dataflow::BufferEdges> buffers;
+  for (const auto e : vrdf_bare.edges()) {
+    const auto& edge = vrdf_bare.edge(e);
+    buffers.push_back(graph.add_buffer(edge.source, edge.target,
+                                       edge.production, edge.consumption));
+  }
+
+  const Duration tau = milliseconds(Rational(2));
+  const analysis::ThroughputConstraint constraint{actors.back(), tau};
+  const analysis::ChainAnalysis sized =
+      analysis::compute_buffer_capacities(graph, constraint);
+  if (!sized.admissible) {
+    std::cerr << "VRDF abstraction inadmissible:\n";
+    for (const auto& d : sized.diagnostics) {
+      std::cerr << "  " << d << '\n';
+    }
+    return 1;
+  }
+
+  // Cycle-aggregated SDF comparison (coarser containers: one per cycle).
+  const dataflow::SdfGraph aggregated = csdf.to_sdf();
+  io::Table table({"buffer", "VRDF sets", "VRDF capacity",
+                   "cycle-aggregated rates", "2(p+c-gcd) at cycle grain"});
+  for (std::size_t i = 0; i < sized.pairs.size(); ++i) {
+    const auto& data = graph.edge(sized.pairs[i].buffer.data);
+    const auto& agg = aggregated.edge(graph::EdgeId(
+        static_cast<graph::EdgeId::underlying_type>(i)));
+    table.add_row({graph.actor(sized.pairs[i].producer).name + "->" +
+                       graph.actor(sized.pairs[i].consumer).name,
+                   data.production.to_string() + " / " +
+                       data.consumption.to_string(),
+                   std::to_string(sized.pairs[i].capacity),
+                   std::to_string(agg.production) + " / " +
+                       std::to_string(agg.consumption),
+                   std::to_string(baseline::sriram_pair_capacity(
+                       agg.production, agg.consumption))});
+  }
+  std::cout << table.to_string() << '\n';
+
+  // Verify the VRDF capacities against the *true* cyclic phase sequences.
+  analysis::apply_capacities(graph, sized);
+  const sim::VerifyResult verdict = sim::verify_throughput(
+      graph, constraint,
+      [&](sim::Simulator& s) {
+        s.set_quantum_source(actors[0], buffers[0].data,
+                             sim::cyclic_source({4, 2}));
+        s.set_quantum_source(actors[1], buffers[0].data,
+                             sim::cyclic_source({1, 3}));
+        s.set_quantum_source(actors[1], buffers[1].data,
+                             sim::cyclic_source({2, 2}));
+        s.set_quantum_source(actors[2], buffers[1].data,
+                             sim::cyclic_source({2}));
+      },
+      {.observe_firings = 5000, .default_seed = 1});
+  std::cout << "verify [true cyclic phase order]: "
+            << (verdict.ok ? "OK" : "FAILED") << " — " << verdict.detail
+            << '\n';
+  std::cout << "\nTakeaway: the set abstraction pays for order-independence"
+               " with extra tokens,\nbut needs no phase-aligned schedule"
+               " and covers phase drift/reordering for free.\n";
+  return verdict.ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// E5 — ablation: what the data dependence costs.
+//
+// Sweeps the MP3 decoder's bytes-per-frame interval [n_min, 960] and
+// reports d1/d2 from the VRDF analysis against the constant-rate lower
+// bound.  Narrowing the interval to the single point 960 recovers the
+// data-independent setting; widening it shows where the extra capacity of
+// the paper's technique goes (the pacing of vBR is driven by the *maximum*
+// consumption rate while its schedule must survive the *minimum*).
+//
+// Second sweep: capacity versus the maximum bit-rate (n_max) with
+// n_min = 0, showing the linear growth of both d1 and the pacing slack.
+#include <iostream>
+
+#include "analysis/buffer_sizing.hpp"
+#include "baseline/traditional.hpp"
+#include "io/table.hpp"
+#include "models/mp3.hpp"
+#include "models/synthetic.hpp"
+
+namespace {
+
+using namespace vrdf;
+
+/// Builds the MP3 chain with the decoder interval [n_min, n_max]; response
+/// times are re-derived per sweep point as the maximal admissible values
+/// (like the paper does for its single point), because a faster decoder
+/// maximum tightens the upstream pacing.
+analysis::ChainAnalysis analyse_with_decoder_interval(std::int64_t n_min,
+                                                      std::int64_t n_max) {
+  dataflow::VrdfGraph bare;
+  const auto br = bare.add_actor("vBR", seconds(Rational(1)));
+  const auto mp3 = bare.add_actor("vMP3", seconds(Rational(1)));
+  const auto src = bare.add_actor("vSRC", seconds(Rational(1)));
+  const auto dac = bare.add_actor("vDAC", seconds(Rational(1)));
+  (void)bare.add_buffer(br, mp3, dataflow::RateSet::singleton(2048),
+                        dataflow::RateSet::interval(n_min, n_max));
+  (void)bare.add_buffer(mp3, src, dataflow::RateSet::singleton(1152),
+                        dataflow::RateSet::singleton(480));
+  (void)bare.add_buffer(src, dac, dataflow::RateSet::singleton(441),
+                        dataflow::RateSet::singleton(1));
+  const analysis::ThroughputConstraint constraint{
+      dac, period_of_hz(Rational(44100))};
+  const auto graph =
+      models::with_scaled_response_times(bare, constraint, Rational(1));
+  return analysis::compute_buffer_capacities(*graph, constraint);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E5 — capacity versus decoder-rate variability\n\n"
+            << "Sweep 1: n in [n_min, 960] (paper point: n_min = 0)\n";
+  io::Table t1({"n_min", "d1 (VRDF)", "d2 (VRDF)", "d1 traditional n=960",
+                "d1 overhead"});
+  const std::int64_t trad_d1 = baseline::sriram_pair_capacity(2048, 960);
+  for (const std::int64_t n_min : {960LL, 720LL, 480LL, 240LL, 96LL, 0LL}) {
+    const analysis::ChainAnalysis a =
+        analyse_with_decoder_interval(n_min, 960);
+    if (!a.admissible) {
+      std::cerr << "unexpected inadmissible sweep point\n";
+      return 1;
+    }
+    const double overhead =
+        100.0 * (static_cast<double>(a.pairs[0].capacity) /
+                     static_cast<double>(trad_d1) -
+                 1.0);
+    t1.add_row({std::to_string(n_min), std::to_string(a.pairs[0].capacity),
+                std::to_string(a.pairs[1].capacity), std::to_string(trad_d1),
+                std::to_string(overhead).substr(0, 5) + " %"});
+  }
+  std::cout << t1.to_string() << '\n';
+  std::cout << "Note: d1 is flat in n_min — the sink-constrained analysis\n"
+               "only reads the consumption *maximum* (Sec 4.3); the minimum\n"
+               "matters for admissibility (0 is allowed for consumption) and\n"
+               "at run time, where smaller quanta throttle vBR via\n"
+               "back-pressure without violating the constraint.\n\n";
+
+  std::cout << "Sweep 2: n in [0, n_max] (decoder max bit-rate)\n";
+  io::Table t2({"n_max", "bytes/s at 48kHz", "d1 (VRDF)",
+                "traditional 2(p+c-gcd)", "phi(vBR) ms"});
+  for (const std::int64_t n_max : {240LL, 480LL, 720LL, 960LL, 1440LL}) {
+    const analysis::ChainAnalysis a = analyse_with_decoder_interval(0, n_max);
+    if (!a.admissible) {
+      std::cerr << "unexpected inadmissible sweep point\n";
+      return 1;
+    }
+    t2.add_row({std::to_string(n_max),
+                std::to_string(n_max * 48000 / 1152),
+                std::to_string(a.pairs[0].capacity),
+                std::to_string(baseline::sriram_pair_capacity(2048, n_max)),
+                std::to_string(a.pacing[0].to_millis_double())});
+  }
+  std::cout << t2.to_string() << '\n';
+  std::cout << "Higher max bit-rate shrinks phi(vBR) (the reader must keep\n"
+               "up with a faster decoder) while d1 grows with the worst-case\n"
+               "in-flight window.\n";
+  return 0;
+}

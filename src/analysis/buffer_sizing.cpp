@@ -1,0 +1,143 @@
+#include "analysis/buffer_sizing.hpp"
+
+#include <sstream>
+
+#include "analysis/pacing.hpp"
+#include "util/checked_int.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::analysis {
+
+using dataflow::Edge;
+using dataflow::VrdfGraph;
+
+namespace {
+
+std::int64_t round_capacity(const Rational& raw, bool tight_pair,
+                            RoundingMode mode) {
+  switch (mode) {
+    case RoundingMode::PaperLiteral:
+      return checked_add(raw.floor(), 1);
+    case RoundingMode::Ceil:
+      return raw.ceil();
+    case RoundingMode::PaperPublished:
+      return tight_pair ? raw.ceil() : checked_add(raw.floor(), 1);
+  }
+  throw ContractError("unknown rounding mode");
+}
+
+}  // namespace
+
+ChainAnalysis compute_buffer_capacities(const VrdfGraph& graph,
+                                        const ThroughputConstraint& constraint,
+                                        const AnalysisOptions& options) {
+  ChainAnalysis analysis;
+
+  PacingResult pacing = compute_pacing(graph, constraint);
+  analysis.diagnostics = pacing.diagnostics;
+  if (!pacing.ok) {
+    return analysis;
+  }
+  analysis.side = pacing.side;
+  analysis.actors_in_order = pacing.actors_in_order;
+  analysis.pacing = pacing.pacing;
+
+  // Producer/consumer schedule validity (Sec 4.2): every actor must finish
+  // a firing within its pacing, ρ(v) <= φ(v).  For the constrained actor
+  // φ = τ; for the others φ is the propagated value.
+  bool admissible = true;
+  for (std::size_t i = 0; i < analysis.actors_in_order.size(); ++i) {
+    const dataflow::Actor& actor = graph.actor(analysis.actors_in_order[i]);
+    if (actor.response_time > analysis.pacing[i]) {
+      std::ostringstream os;
+      os << "actor '" << actor.name << "': response time "
+         << actor.response_time.seconds() << " s exceeds pacing "
+         << analysis.pacing[i].seconds()
+         << " s; no valid schedule exists at the required rate";
+      analysis.diagnostics.push_back(os.str());
+      admissible = false;
+    }
+  }
+  if (!admissible) {
+    return analysis;
+  }
+
+  analysis.pairs.reserve(pacing.buffers_in_order.size());
+  for (std::size_t i = 0; i < pacing.buffers_in_order.size(); ++i) {
+    const dataflow::BufferEdges buffer = pacing.buffers_in_order[i];
+    const Edge& data = graph.edge(buffer.data);
+
+    PairAnalysis pair;
+    pair.producer = data.source;
+    pair.consumer = data.target;
+    pair.buffer = buffer;
+    pair.is_static = data.production.is_singleton() &&
+                     data.consumption.is_singleton();
+
+    const std::int64_t pi_max = data.production.max();
+    const std::int64_t gamma_max = data.consumption.max();
+
+    // Bound rate s: time per token of the pair's linear bounds.
+    if (analysis.side == ConstraintSide::Sink) {
+      pair.pacing_basis = analysis.pacing[i + 1];  // φ(consumer)
+      pair.bound_rate = pair.pacing_basis / Rational(gamma_max);
+    } else {
+      pair.pacing_basis = analysis.pacing[i];  // φ(producer)
+      pair.bound_rate = pair.pacing_basis / Rational(pi_max);
+    }
+
+    const Duration& rho_a = graph.actor(pair.producer).response_time;
+    const Duration& rho_b = graph.actor(pair.consumer).response_time;
+    // Eq (1): the upper bound on data production must cover token x while
+    // the lower bound on space consumption covers token x + π̂ - 1 of the
+    // same firing, consumed ρ(v_a) earlier than the production.
+    pair.delta_producer = rho_a + pair.bound_rate * Rational(pi_max - 1);
+    // Eq (2): symmetric for the consumer with its maximum quantum γ̂.
+    pair.delta_consumer = rho_b + pair.bound_rate * Rational(gamma_max - 1);
+    // Eq (3).
+    pair.delta_total = pair.delta_producer + pair.delta_consumer;
+    // Eq (4): horizontal distance between the space-edge bounds in tokens.
+    pair.raw_tokens = pair.delta_total / pair.bound_rate;
+    // The tight value x (without the +1) is sound exactly when the pair is
+    // static and sits at the constrained end of the chain: the constrained
+    // actor's transfer times are exactly periodic, so the delay slack the
+    // +1 provides cannot be needed.
+    const bool adjacent_to_constrained =
+        analysis.side == ConstraintSide::Sink
+            ? i + 1 == pacing.buffers_in_order.size()
+            : i == 0;
+    pair.capacity =
+        round_capacity(pair.raw_tokens, pair.is_static && adjacent_to_constrained,
+                       options.rounding);
+    analysis.total_capacity =
+        checked_add(analysis.total_capacity, pair.capacity);
+    analysis.pairs.push_back(pair);
+  }
+
+  analysis.admissible = true;
+  return analysis;
+}
+
+void apply_capacities(VrdfGraph& graph, const ChainAnalysis& analysis) {
+  VRDF_REQUIRE(analysis.admissible,
+               "cannot apply capacities of an inadmissible analysis");
+  for (const PairAnalysis& pair : analysis.pairs) {
+    graph.set_initial_tokens(pair.buffer.space, pair.capacity);
+  }
+}
+
+ResponseTimeBudget max_admissible_response_times(
+    const VrdfGraph& graph, const ThroughputConstraint& constraint) {
+  ResponseTimeBudget budget;
+  PacingResult pacing = compute_pacing(graph, constraint);
+  budget.diagnostics = pacing.diagnostics;
+  if (!pacing.ok) {
+    return budget;
+  }
+  budget.ok = true;
+  budget.actors_in_order = std::move(pacing.actors_in_order);
+  budget.max_response_times = std::move(pacing.pacing);
+  return budget;
+}
+
+}  // namespace vrdf::analysis

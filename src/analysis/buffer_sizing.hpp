@@ -1,0 +1,61 @@
+// Buffer-capacity computation (Sec 4) — the paper's main contribution.
+//
+// For every producer-consumer pair of a chain the algorithm:
+//  1. takes the pair's bound rate s = φ/γ̂ (sink mode) or φ/π̂ (source
+//     mode) from pacing propagation;
+//  2. forms the minimum distance between the linear upper bound on space
+//     production times and the linear lower bound on space consumption
+//     times, Eq (3):
+//        Δ = ρ(v_a) + ρ(v_b) + s·(π̂ − 1) + s·(γ̂ − 1)
+//     (the paper writes the slack terms as τ/π̂(e_ba)·(γ̂(e_ba)−1) and
+//      τ/γ̂(e_ab)·(γ̂(e_ab)−1); with γ̂(e_ba) = π̂(e_ab) and
+//      π̂(e_ba) = γ̂(e_ab) both reduce to the form above);
+//  3. converts the time distance into tokens, Eq (4): x = Δ/s, and rounds
+//     per RoundingMode.
+//
+// Sufficiency rests on two model properties (Sec 3.2): monotonicity (an
+// earlier start never delays anything — so the self-timed run-time
+// schedule is never later than the constructed one) and linearity (a
+// consumer-side delay of Δ when it produces/consumes less than its maximum
+// quantum delays every other firing by at most Δ — so the periodic sink
+// schedule stays feasible).
+#pragma once
+
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::analysis {
+
+/// Computes buffer capacities for a chain-shaped VRDF graph so that the
+/// throughput constraint is satisfied for *every* admissible sequence of
+/// production/consumption quanta.  Returns an inadmissible result with
+/// diagnostics (never throws) for model-level infeasibility:
+///  * the graph is not a consistent chain of buffers;
+///  * the constrained actor is not the chain's source or sink;
+///  * a zero minimum quantum on the rate-determining side;
+///  * a response time exceeding the actor's pacing, ρ(v) > φ(v)
+///    (the producer/consumer schedule validity constraints of Sec 4.2).
+[[nodiscard]] ChainAnalysis compute_buffer_capacities(
+    const dataflow::VrdfGraph& graph, const ThroughputConstraint& constraint,
+    const AnalysisOptions& options = {});
+
+/// Writes the computed capacities into the graph: δ(space edge) of every
+/// analysed buffer is set to the pair's capacity.  Requires an admissible
+/// analysis of this very graph.
+void apply_capacities(dataflow::VrdfGraph& graph, const ChainAnalysis& analysis);
+
+/// Maximal admissible worst-case response times (the paper derives the MP3
+/// response times 51.2/24/10/0.0227 ms this way): κ(w) may be at most
+/// φ(v) for the throughput constraint to be satisfiable.  Returned in
+/// chain order together with the actor ids; inadmissible chains yield an
+/// empty vector plus diagnostics.
+struct ResponseTimeBudget {
+  bool ok = false;
+  std::vector<std::string> diagnostics;
+  std::vector<dataflow::ActorId> actors_in_order;
+  std::vector<Duration> max_response_times;
+};
+[[nodiscard]] ResponseTimeBudget max_admissible_response_times(
+    const dataflow::VrdfGraph& graph, const ThroughputConstraint& constraint);
+
+}  // namespace vrdf::analysis

@@ -1,0 +1,55 @@
+#include "analysis/deadlock.hpp"
+
+#include "dataflow/validation.hpp"
+#include "util/checked_int.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::analysis {
+
+std::int64_t min_deadlock_free_capacity(std::int64_t production,
+                                        std::int64_t consumption) {
+  VRDF_REQUIRE(production > 0, "production quantum must be positive");
+  VRDF_REQUIRE(consumption > 0, "consumption quantum must be positive");
+  return checked_sub(checked_add(production, consumption),
+                     gcd64(production, consumption));
+}
+
+std::int64_t min_deadlock_free_pair_capacity(
+    const dataflow::RateSet& production, const dataflow::RateSet& consumption) {
+  // g = gcd of every positive quantum; zero quanta transfer nothing and
+  // never block (a zero consumption is always enabled, a zero production
+  // needs no space), so they do not constrain g.
+  std::int64_t g = 0;
+  for (const std::int64_t p : production.values()) {
+    if (p > 0) {
+      g = gcd64(g, p);
+    }
+  }
+  for (const std::int64_t c : consumption.values()) {
+    if (c > 0) {
+      g = gcd64(g, c);
+    }
+  }
+  VRDF_REQUIRE(g > 0, "rate sets must contain positive quanta");
+  return checked_sub(checked_add(production.max(), consumption.max()), g);
+}
+
+std::vector<std::int64_t> min_deadlock_free_chain_capacities(
+    const dataflow::VrdfGraph& graph) {
+  const dataflow::ValidationReport validation =
+      dataflow::validate_chain_model(graph);
+  if (!validation.ok()) {
+    throw ModelError("not a chain of buffers: " + validation.summary());
+  }
+  const auto view = graph.chain_view();
+  std::vector<std::int64_t> minima;
+  minima.reserve(view->buffers.size());
+  for (const dataflow::BufferEdges& b : view->buffers) {
+    const dataflow::Edge& data = graph.edge(b.data);
+    minima.push_back(
+        min_deadlock_free_pair_capacity(data.production, data.consumption));
+  }
+  return minima;
+}
+
+}  // namespace vrdf::analysis

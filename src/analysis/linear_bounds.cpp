@@ -1,0 +1,107 @@
+#include "analysis/linear_bounds.hpp"
+
+#include "util/error.hpp"
+
+namespace vrdf::analysis {
+
+TimePoint LinearBound::at(std::int64_t k) const {
+  VRDF_REQUIRE(k >= 1, "token indices are 1-based");
+  return TimePoint(offset_.seconds() + per_token_.seconds() * Rational(k));
+}
+
+PairBounds derive_pair_bounds(const PairAnalysis& pair, TimePoint anchor) {
+  const Duration s = pair.bound_rate;
+  const LinearBound data_bound(Duration(anchor.seconds()), s);
+  return PairBounds{
+      /*data_production_upper=*/data_bound,
+      /*data_consumption_lower=*/data_bound,
+      /*space_production_upper=*/data_bound.shifted(pair.delta_consumer),
+      /*space_consumption_lower=*/data_bound.shifted(-pair.delta_producer),
+  };
+}
+
+bool production_conservative(const LinearBound& upper,
+                             const std::vector<TransferEvent>& events) {
+  for (const TransferEvent& e : events) {
+    if (e.count == 0) {
+      continue;
+    }
+    // Binding token of an atomic production is the firing's first token:
+    // the bound is increasing, so bound(first) is the tightest.
+    const std::int64_t first = e.cumulative - e.count + 1;
+    if (e.time > upper.at(first)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool consumption_conservative(const LinearBound& lower,
+                              const std::vector<TransferEvent>& events) {
+  for (const TransferEvent& e : events) {
+    if (e.count == 0) {
+      continue;
+    }
+    // Binding token of an atomic consumption is the firing's last token.
+    if (e.time < lower.at(e.cumulative)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<TransferEvent> just_conservative_producer_schedule(
+    const LinearBound& production_upper, const std::vector<std::int64_t>& quanta) {
+  std::vector<TransferEvent> events;
+  events.reserve(quanta.size());
+  std::int64_t cumulative = 0;
+  TimePoint previous = production_upper.at(1);
+  for (const std::int64_t q : quanta) {
+    VRDF_REQUIRE(q >= 0, "quanta must be non-negative");
+    TransferEvent e;
+    e.count = q;
+    e.cumulative = cumulative + q;
+    if (q > 0) {
+      e.time = production_upper.at(cumulative + 1);
+      previous = e.time;
+    } else {
+      e.time = previous;  // zero-quantum firing carries no binding token
+    }
+    cumulative += q;
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<TransferEvent> just_conservative_consumer_schedule(
+    const LinearBound& consumption_lower, const std::vector<std::int64_t>& quanta) {
+  std::vector<TransferEvent> events;
+  events.reserve(quanta.size());
+  std::int64_t cumulative = 0;
+  TimePoint previous = consumption_lower.at(1);
+  for (const std::int64_t q : quanta) {
+    VRDF_REQUIRE(q >= 0, "quanta must be non-negative");
+    TransferEvent e;
+    e.count = q;
+    e.cumulative = cumulative + q;
+    if (q > 0) {
+      e.time = consumption_lower.at(cumulative + q);
+      previous = e.time;
+    } else {
+      e.time = previous;
+    }
+    cumulative += q;
+    events.push_back(e);
+  }
+  return events;
+}
+
+Rational bound_token_distance(const PairBounds& bounds) {
+  // α̂p(space)(k−d) ≤ α̌c(space)(k) for all k reduces, with the shared
+  // slope s, to d·s ≥ offset(α̂p) − offset(α̌c).
+  const Duration delta = bounds.space_production_upper.offset() -
+                         bounds.space_consumption_lower.offset();
+  return delta / bounds.space_production_upper.per_token();
+}
+
+}  // namespace vrdf::analysis

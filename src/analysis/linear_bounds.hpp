@@ -1,0 +1,106 @@
+// Linear bounds on token transfer times (Sec 4.1/4.2, Figures 3 and 4).
+//
+// A LinearBound maps a cumulative token count k (1-based) to a time
+//    bound(k) = offset + k·per_token.
+// An *upper* bound on production times is conservative for a schedule when
+// the k-th token is produced no later than bound(k); a *lower* bound on
+// consumption times is conservative when the k-th token is consumed no
+// earlier than bound(k).
+//
+// For a buffer pair the four bounds are anchored so that
+//   α̂p(data) == α̌c(data)                  (tokens arrive exactly in time),
+//   α̌c(space) == α̂p(data) − Δ₁            (Eq 1),
+//   α̂p(space) == α̌c(data) + Δ₂            (Eq 2),
+// which gives α̂p(space) − α̌c(space) = Δ₁ + Δ₂ = Δ (Eq 3).  A capacity of
+// d space tokens is sufficient iff α̂p(space)(k−d) ≤ α̌c(space)(k) for all
+// k > d, i.e. d ≥ Δ/s — the quantity Eq (4) rounds.
+//
+// just_conservative_*_schedule() build the witness schedules of Fig 4: the
+// producer finishes each firing exactly when the upper bound crosses the
+// firing's *first* token (the binding index of an increasing bound), the
+// consumer starts each firing exactly when the lower bound crosses the
+// firing's *last* token.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "util/time.hpp"
+
+namespace vrdf::analysis {
+
+class LinearBound {
+public:
+  LinearBound(Duration offset, Duration per_token)
+      : offset_(offset), per_token_(per_token) {}
+
+  /// Bound value for the k-th cumulative token, k >= 1.
+  [[nodiscard]] TimePoint at(std::int64_t k) const;
+
+  [[nodiscard]] const Duration& offset() const { return offset_; }
+  [[nodiscard]] const Duration& per_token() const { return per_token_; }
+
+  /// Shifts the whole bound by delta (used to anchor pair bounds).
+  [[nodiscard]] LinearBound shifted(Duration delta) const {
+    return LinearBound(offset_ + delta, per_token_);
+  }
+
+private:
+  Duration offset_;
+  Duration per_token_;
+};
+
+/// One atomic token transfer of a schedule: `count` tokens moved at `time`,
+/// bringing the cumulative count to `cumulative`.
+struct TransferEvent {
+  std::int64_t cumulative = 0;  // 1-based cumulative count *after* the event
+  std::int64_t count = 0;       // tokens moved in this event (may be 0)
+  TimePoint time;
+};
+
+/// The four anchored bounds of one buffer pair.
+struct PairBounds {
+  LinearBound data_production_upper;   // α̂p(e_ab)
+  LinearBound data_consumption_lower;  // α̌c(e_ab)
+  LinearBound space_production_upper;  // α̂p(e_ba)
+  LinearBound space_consumption_lower; // α̌c(e_ba)
+};
+
+/// Anchors the bounds of an analysed pair at `anchor` (the data bounds pass
+/// through anchor + k·s).
+[[nodiscard]] PairBounds derive_pair_bounds(const PairAnalysis& pair,
+                                            TimePoint anchor);
+
+/// True when every event's time is <= bound(cumulative) — the upper-bound
+/// conservativeness of production times.  Events with count == 0 are
+/// ignored (a zero-quantum firing transfers nothing).
+[[nodiscard]] bool production_conservative(const LinearBound& upper,
+                                           const std::vector<TransferEvent>& events);
+
+/// True when every event's time is >= bound(cumulative - count + 1) — the
+/// lower-bound conservativeness of consumption times (binding token of an
+/// atomic consumption is its first one; all tokens of the event share one
+/// time, and the bound is increasing, so checking k - count + 1..k reduces
+/// to nothing stronger than k itself; we check the *last* token k).
+[[nodiscard]] bool consumption_conservative(const LinearBound& lower,
+                                            const std::vector<TransferEvent>& events);
+
+/// Fig 4 producer witness: firing j (quantum q_j, q_j >= 0) produces its
+/// tokens at the time the upper bound assigns to the firing's first token;
+/// zero-quantum firings are pinned between their neighbours.  Returns one
+/// TransferEvent per firing.
+[[nodiscard]] std::vector<TransferEvent> just_conservative_producer_schedule(
+    const LinearBound& production_upper, const std::vector<std::int64_t>& quanta);
+
+/// Fig 3 consumer witness: firing j consumes its tokens at the time the
+/// lower bound assigns to the firing's last token.
+[[nodiscard]] std::vector<TransferEvent> just_conservative_consumer_schedule(
+    const LinearBound& consumption_lower, const std::vector<std::int64_t>& quanta);
+
+/// Smallest d (>= 0) with α̂p(space)(k − d) ≤ α̌c(space)(k) for all k — the
+/// exact token distance Δ/s of the pair's bounds, before the Eq (4)
+/// rounding policy.
+[[nodiscard]] Rational bound_token_distance(const PairBounds& bounds);
+
+}  // namespace vrdf::analysis

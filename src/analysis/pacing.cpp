@@ -1,0 +1,99 @@
+#include "analysis/pacing.hpp"
+
+#include <sstream>
+
+#include "dataflow/validation.hpp"
+
+namespace vrdf::analysis {
+
+using dataflow::ActorId;
+using dataflow::BufferEdges;
+using dataflow::Edge;
+using dataflow::VrdfGraph;
+
+PacingResult compute_pacing(const VrdfGraph& graph,
+                            const ThroughputConstraint& constraint) {
+  PacingResult result;
+
+  const dataflow::ValidationReport validation =
+      dataflow::validate_chain_model(graph);
+  if (!validation.ok()) {
+    result.diagnostics = validation.errors;
+    return result;
+  }
+  if (!constraint.period.is_positive()) {
+    result.diagnostics.push_back("throughput period must be positive");
+    return result;
+  }
+
+  const auto chain = graph.chain_view();
+  // validate_chain_model already guaranteed a chain.
+  result.actors_in_order = chain->actors;
+  result.buffers_in_order = chain->buffers;
+
+  const std::size_t n = result.actors_in_order.size();
+  if (constraint.actor == result.actors_in_order.back()) {
+    result.side = ConstraintSide::Sink;
+  } else if (constraint.actor == result.actors_in_order.front()) {
+    result.side = ConstraintSide::Source;
+  } else {
+    std::ostringstream os;
+    os << "throughput constraint must be on the chain's source or sink; '"
+       << graph.actor(constraint.actor).name << "' is interior";
+    result.diagnostics.push_back(os.str());
+    return result;
+  }
+  // A single-actor chain is both source and sink; treat it as a sink
+  // constraint with no pairs.
+  if (n == 1) {
+    result.side = ConstraintSide::Sink;
+  }
+
+  result.pacing.assign(n, Duration());
+  if (result.side == ConstraintSide::Sink) {
+    result.pacing[n - 1] = constraint.period;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const Edge& data = graph.edge(result.buffers_in_order[i - 1].data);
+      const std::int64_t gamma_max = data.consumption.max();
+      const std::int64_t pi_min = data.production.min();
+      if (pi_min == 0) {
+        std::ostringstream os;
+        os << "buffer " << graph.actor(data.source).name << " -> "
+           << graph.actor(data.target).name
+           << ": minimum production quantum is zero; the producer cannot "
+              "sustain the consumer's maximum rate (sink-constrained chains "
+              "only tolerate zero *consumption* quanta)";
+        result.diagnostics.push_back(os.str());
+        return result;
+      }
+      // φ(v_x) = (φ(v_y)/γ̂(e_xy)) · π̌(e_xy)
+      result.pacing[i - 1] =
+          result.pacing[i] * Rational(pi_min, gamma_max);
+    }
+  } else {
+    result.pacing[0] = constraint.period;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const Edge& data = graph.edge(result.buffers_in_order[i].data);
+      const std::int64_t pi_max = data.production.max();
+      const std::int64_t gamma_min = data.consumption.min();
+      if (gamma_min == 0) {
+        std::ostringstream os;
+        os << "buffer " << graph.actor(data.source).name << " -> "
+           << graph.actor(data.target).name
+           << ": minimum consumption quantum is zero; the consumer cannot "
+              "keep up with the source's maximum rate (source-constrained "
+              "chains only tolerate zero *production* quanta)";
+        result.diagnostics.push_back(os.str());
+        return result;
+      }
+      // φ(v_y) = (φ(v_x)/π̂(e_xy)) · γ̌(e_xy)
+      result.pacing[i + 1] =
+          result.pacing[i] * Rational(gamma_min, pi_max);
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace vrdf::analysis

@@ -1,0 +1,48 @@
+// Pacing propagation along a chain (Sec 4.3 / 4.4).
+//
+// The throughput constraint fixes the pacing of one chain end:
+// φ(constrained actor) = τ.  Pacing then propagates pair-by-pair:
+//
+//  * Sink-constrained (Sec 4.3): on every buffer the data-consuming task
+//    determines the rate; the producer must be able to match the maximum
+//    consumption rate even when producing its minimum quantum, so
+//    φ(v_x) = (φ(v_y)/γ̂(e_xy)) · π̌(e_xy), moving upstream.
+//  * Source-constrained (Sec 4.4): mirrored — consumption is minimised and
+//    production maximised: φ(v_y) = (φ(v_x)/π̂(e_xy)) · γ̌(e_xy), moving
+//    downstream.
+//
+// φ(v) is simultaneously the minimal required difference between
+// subsequent starts of v and the maximal admissible worst-case response
+// time κ(w) (the paper derives the MP3 response times this way).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::analysis {
+
+struct PacingResult {
+  bool ok = false;
+  std::vector<std::string> diagnostics;
+  ConstraintSide side = ConstraintSide::Sink;
+  /// Actors source→sink.
+  std::vector<dataflow::ActorId> actors_in_order;
+  /// Buffers in chain order (buffers[i] connects actors[i] → actors[i+1]).
+  std::vector<dataflow::BufferEdges> buffers_in_order;
+  /// φ per chain position.
+  std::vector<Duration> pacing;
+};
+
+/// Validates that the graph is a consistent chain, that the constrained
+/// actor is one of its ends, and propagates pacing.  Produces diagnostics
+/// instead of throwing for model-level infeasibility (e.g. a zero minimum
+/// production quantum upstream of a sink constraint, which would require
+/// an infinite rate).
+[[nodiscard]] PacingResult compute_pacing(const dataflow::VrdfGraph& graph,
+                                          const ThroughputConstraint& constraint);
+
+}  // namespace vrdf::analysis

@@ -1,0 +1,120 @@
+#include "analysis/period.hpp"
+
+#include <sstream>
+
+#include "analysis/pacing.hpp"
+
+namespace vrdf::analysis {
+
+using dataflow::Edge;
+using dataflow::VrdfGraph;
+
+MinPeriodResult min_admissible_period(const VrdfGraph& graph,
+                                      dataflow::ActorId actor,
+                                      const AnalysisOptions& options) {
+  MinPeriodResult result;
+
+  // Pacing coefficients c_v are rate-only: run the propagation with a unit
+  // period and read φ(v) as c_v.
+  const PacingResult unit =
+      compute_pacing(graph, ThroughputConstraint{actor, seconds(Rational(1))});
+  if (!unit.ok) {
+    result.diagnostics = unit.diagnostics;
+    return result;
+  }
+
+  Rational min_tau(0);
+  Rational infimum_tau(0);
+  bool infimum_attained = true;
+  std::string binding = "(none)";
+  const auto tighten = [&](const Rational& candidate, const std::string& what) {
+    if (candidate > min_tau) {
+      min_tau = candidate;
+      binding = what;
+    }
+  };
+  const auto tighten_infimum = [&](const Rational& candidate, bool attained) {
+    if (candidate > infimum_tau) {
+      infimum_tau = candidate;
+      infimum_attained = attained;
+    } else if (candidate == infimum_tau && !attained) {
+      infimum_attained = false;
+    }
+  };
+
+  // Response-time constraints ρ(v) ≤ c_v·τ (closed).
+  for (std::size_t i = 0; i < unit.actors_in_order.size(); ++i) {
+    const dataflow::Actor& a = graph.actor(unit.actors_in_order[i]);
+    const Rational c_v = unit.pacing[i].seconds();
+    tighten(a.response_time.seconds() / c_v, "actor " + a.name);
+    tighten_infimum(a.response_time.seconds() / c_v, true);
+  }
+
+  // Capacity constraints per pair.
+  for (std::size_t i = 0; i < unit.buffers_in_order.size(); ++i) {
+    const dataflow::BufferEdges buffer = unit.buffers_in_order[i];
+    const Edge& data = graph.edge(buffer.data);
+    const Edge& space = graph.edge(buffer.space);
+    const std::int64_t d = space.initial_tokens;
+    const std::int64_t pi_max = data.production.max();
+    const std::int64_t gamma_max = data.consumption.max();
+    const std::string label = "buffer " + graph.actor(data.source).name +
+                              "->" + graph.actor(data.target).name;
+
+    const bool is_static =
+        data.production.is_singleton() && data.consumption.is_singleton();
+    const bool adjacent = unit.side == ConstraintSide::Sink
+                              ? i + 1 == unit.buffers_in_order.size()
+                              : i == 0;
+    // Sufficiency margin in tokens: x ≤ d − 1 in general (the +1 of
+    // Eq (4)); x ≤ d when the rounding mode grants the tight value.
+    const bool tight = options.rounding == RoundingMode::Ceil ||
+                       (options.rounding == RoundingMode::PaperPublished &&
+                        is_static && adjacent);
+    const std::int64_t margin =
+        d - (pi_max - 1) - (gamma_max - 1) - (tight ? 0 : 1);
+    if (margin <= 0) {
+      std::ostringstream os;
+      os << label << ": capacity " << d
+         << " cannot sustain any rate (needs more than "
+         << (pi_max + gamma_max - (tight ? 2 : 1)) << " containers)";
+      result.diagnostics.push_back(os.str());
+      return result;
+    }
+    // s = c·τ/γ̂ (sink mode) or c·τ/π̂ (source mode), with c the pacing
+    // coefficient of the pair's rate-determining actor.
+    const Rational c = unit.side == ConstraintSide::Sink
+                           ? unit.pacing[i + 1].seconds()
+                           : unit.pacing[i].seconds();
+    const std::int64_t quantum_divisor =
+        unit.side == ConstraintSide::Sink ? gamma_max : pi_max;
+    const Rational rho_sum =
+        (graph.actor(data.source).response_time +
+         graph.actor(data.target).response_time)
+            .seconds();
+    // (ρa+ρb)/(c·τ/γ̂) ≤ margin  ⇔  τ ≥ γ̂·(ρa+ρb)/(c·margin).
+    tighten(Rational(quantum_divisor) * rho_sum / (c * Rational(margin)),
+            label);
+    // The forward rounding ⌊x⌋+1 ≤ d is the open condition x < d, one
+    // token looser than the attained criterion: margin+1, not attained.
+    // On tight pairs the forward condition ⌈x⌉ ≤ d equals x ≤ d and the
+    // bound is attained.
+    if (tight) {
+      tighten_infimum(
+          Rational(quantum_divisor) * rho_sum / (c * Rational(margin)), true);
+    } else {
+      tighten_infimum(
+          Rational(quantum_divisor) * rho_sum / (c * Rational(margin + 1)),
+          false);
+    }
+  }
+
+  result.ok = true;
+  result.min_period = Duration(min_tau);
+  result.infimum_period = Duration(infimum_tau);
+  result.infimum_attained = infimum_attained;
+  result.binding_constraint = binding;
+  return result;
+}
+
+}  // namespace vrdf::analysis

@@ -1,0 +1,65 @@
+// The inverse problem: fastest admissible period for *given* capacities.
+//
+// The paper computes capacities from a period; deployed systems often face
+// the converse — buffers are already sized (silicon, legacy firmware) and
+// the question is the fastest strictly periodic rate they support.  Within
+// the paper's framework this has a closed form, because pacing is linear
+// in the period: φ(v) = c_v·τ with a rate-only coefficient c_v from the
+// Sec 4.3/4.4 propagation.  Per pair, sufficiency of capacity d (in the
+// conservative Eq (4) sense x ≤ d − 1, or x ≤ d on the tight pair) turns
+// into a lower bound on the pair's bound rate s = c·τ/γ̂ and hence on τ:
+//
+//     x = (ρ_a + ρ_b)/s + (π̂ − 1) + (γ̂ − 1) ≤ d − 1
+//  ⇔  τ ≥ γ̂·(ρ_a + ρ_b) / (c · (d + 1 − π̂ − γ̂))        [literal form]
+//
+// plus the schedule-validity constraints ρ(v) ≤ φ(v) = c_v·τ.  The
+// minimum admissible period is the maximum of all these bounds; a pair
+// with d + 1 ≤ π̂ + γ̂ (d + 2 on the tight pair ≤ ...) cannot sustain any
+// rate.
+//
+// Note on tightness: the forward rounding ⌊x⌋+1 ≤ d is the *open*
+// condition x < d, which has no attained minimum period; this analysis
+// uses the closed condition x ≤ d − 1 instead, so the returned period is
+// attained, sound, and conservative by strictly less than one token's
+// worth of rate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::analysis {
+
+struct MinPeriodResult {
+  bool ok = false;
+  std::vector<std::string> diagnostics;
+  /// Attained safe period: at min_period the conservative sufficiency
+  /// criterion (x ≤ d − 1 on pairs that keep the Eq (4) +1; x ≤ d on the
+  /// tight pair) holds with equality somewhere.  Always feasible.
+  Duration min_period;
+  /// Exact feasibility infimum of the *forward* analysis: for every
+  /// τ > infimum_period, compute_buffer_capacities at τ yields capacities
+  /// that fit the installed ones.  τ = infimum_period itself fits iff
+  /// infimum_attained (the binding constraint is closed: a response time
+  /// or a tight pair).  infimum_period ≤ min_period, with equality when x
+  /// is integral at the binding pair (e.g. the MP3 chain).
+  Duration infimum_period;
+  bool infimum_attained = false;
+  /// Which constraint was binding for min_period: actor name (response
+  /// time) or "buffer producer->consumer" (capacity).
+  std::string binding_constraint;
+};
+
+/// Reads each buffer's installed capacity from δ(space edge) and returns
+/// the fastest admissible strictly periodic rate of `actor` (which must be
+/// the chain's source or sink).  Inadmissible situations (zero capacity,
+/// capacity below the structural minimum π̂+γ̂−1, rate-side zero quanta)
+/// yield ok == false with diagnostics.
+[[nodiscard]] MinPeriodResult min_admissible_period(
+    const dataflow::VrdfGraph& graph, dataflow::ActorId actor,
+    const AnalysisOptions& options = {});
+
+}  // namespace vrdf::analysis

@@ -1,0 +1,104 @@
+// Shared types of the buffer-capacity analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/vrdf_graph.hpp"
+#include "util/time.hpp"
+
+namespace vrdf::analysis {
+
+/// "Actor `actor` must execute strictly periodically with period `period`."
+/// The paper requires the constrained task to sit at an end of the chain:
+/// a task without output buffers (sink, Sec 4.2/4.3) or without input
+/// buffers (source, Sec 4.4).
+struct ThroughputConstraint {
+  dataflow::ActorId actor;
+  Duration period;
+};
+
+/// Which end of the chain carries the throughput constraint.
+enum class ConstraintSide {
+  Sink,    // Sec 4.2/4.3: rates propagate upstream against the data flow
+  Source,  // Sec 4.4: rates propagate downstream with the data flow
+};
+
+/// How the raw token count x = π̂/φ·Δ of Eq (4) is turned into an integer
+/// capacity.
+enum class RoundingMode {
+  /// Literal Eq (4): ⌊x + 1⌋ = ⌊x⌋ + 1.  Always sufficient; over-provisions
+  /// by one token when x is integral on a pair that needs no delay slack.
+  PaperLiteral,
+  /// ⌈x⌉ everywhere.  Matches the bound-distance derivation under the
+  /// model's simultaneity semantics (a token produced at t is consumable
+  /// at t) but drops the extra token the paper reserves for
+  /// consumer-schedule delays on pairs away from the constrained actor;
+  /// offered for experimentation and tightness studies, not as default.
+  Ceil,
+  /// ⌊x⌋ + 1, except ⌈x⌉ on a *static* pair directly adjacent to the
+  /// constrained actor (sink mode: the pair whose consumer is the
+  /// strictly periodic sink; source mode: the pair whose producer is the
+  /// periodic source).  There the constrained actor's transfer times are
+  /// exact — no delay can occur on its side — and the method degenerates
+  /// to the data-independent technique [14], for which x is sufficient
+  /// (and exactly minimal, see the baseline tests).  This reproduces the
+  /// paper's published MP3 numbers {6015, 3263, 882}.  Default.
+  PaperPublished,
+};
+
+/// Everything the analysis derives for one producer-consumer pair
+/// (Sec 4.2, Eqs (1)-(4)).
+struct PairAnalysis {
+  dataflow::ActorId producer;
+  dataflow::ActorId consumer;
+  dataflow::BufferEdges buffer;
+
+  /// φ basis of this pair: φ(consumer) in sink mode, φ(producer) in source
+  /// mode — the minimal required difference between subsequent starts of
+  /// the pair's rate-determining actor.
+  Duration pacing_basis;
+  /// Time per token of the pair's linear bounds (φ/γ̂ resp. φ/π̂).
+  Duration bound_rate;
+  /// Eq (1): minimum distance α̂p(e_ab) − α̌c(e_ba) chargeable to the
+  /// producer: ρ(producer) + s·(π̂ − 1).
+  Duration delta_producer;
+  /// Eq (2): minimum distance α̂p(e_ba) − α̌c(e_ab) chargeable to the
+  /// consumer: ρ(consumer) + s·(γ̂ − 1).
+  Duration delta_consumer;
+  /// Eq (3): delta_producer + delta_consumer.
+  Duration delta_total;
+  /// Raw token count x = Δ/s of Eq (4), before rounding.
+  Rational raw_tokens;
+  /// Computed capacity ζ(b) = δ(space edge), after rounding.
+  std::int64_t capacity = 0;
+  /// True when all rate sets of the pair are singletons (data-independent).
+  bool is_static = false;
+};
+
+/// Result of the full chain analysis.
+struct ChainAnalysis {
+  /// False when the constraint cannot be satisfied for every admissible
+  /// quantum sequence (diagnostics explain why).  Capacities are only
+  /// meaningful when true.
+  bool admissible = false;
+  std::vector<std::string> diagnostics;
+
+  ConstraintSide side = ConstraintSide::Sink;
+  /// Actors in chain order, data source first.
+  std::vector<dataflow::ActorId> actors_in_order;
+  /// φ(v) per position in actors_in_order: the minimal required difference
+  /// between subsequent starts (also the maximal admissible response time).
+  std::vector<Duration> pacing;
+  /// One entry per buffer, in chain order.
+  std::vector<PairAnalysis> pairs;
+  /// Sum of all capacities (containers across all buffers).
+  std::int64_t total_capacity = 0;
+};
+
+struct AnalysisOptions {
+  RoundingMode rounding = RoundingMode::PaperPublished;
+};
+
+}  // namespace vrdf::analysis

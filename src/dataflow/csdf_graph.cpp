@@ -1,0 +1,202 @@
+#include "dataflow/csdf_graph.hpp"
+
+#include <numeric>
+#include <queue>
+
+#include "dataflow/sdf_graph.hpp"
+#include "dataflow/vrdf_graph.hpp"
+#include "util/checked_int.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::dataflow {
+
+namespace {
+
+std::int64_t sum_checked(const std::vector<std::int64_t>& values) {
+  std::int64_t total = 0;
+  for (const std::int64_t v : values) {
+    total = checked_add(total, v);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::int64_t CsdfEdge::production_per_cycle() const { return sum_checked(production); }
+
+std::int64_t CsdfEdge::consumption_per_cycle() const {
+  return sum_checked(consumption);
+}
+
+graph::NodeId CsdfGraph::add_actor(std::string name,
+                                   std::vector<Duration> response_times) {
+  VRDF_REQUIRE(!name.empty(), "actor name must be non-empty");
+  VRDF_REQUIRE(!response_times.empty(), "a CSDF actor needs at least one phase");
+  for (const Duration& d : response_times) {
+    VRDF_REQUIRE(d.is_positive(), "phase response times must be positive");
+  }
+  const graph::NodeId id = topology_.add_node();
+  actors_.push_back(CsdfActor{std::move(name), std::move(response_times)});
+  return id;
+}
+
+graph::EdgeId CsdfGraph::add_edge(graph::NodeId source, graph::NodeId target,
+                                  std::vector<std::int64_t> production,
+                                  std::vector<std::int64_t> consumption,
+                                  std::int64_t initial_tokens) {
+  VRDF_REQUIRE(topology_.contains(source), "edge source actor does not exist");
+  VRDF_REQUIRE(topology_.contains(target), "edge target actor does not exist");
+  VRDF_REQUIRE(production.size() == actors_[source.index()].phase_count(),
+               "production sequence length must match source phase count");
+  VRDF_REQUIRE(consumption.size() == actors_[target.index()].phase_count(),
+               "consumption sequence length must match target phase count");
+  for (const std::int64_t v : production) {
+    VRDF_REQUIRE(v >= 0, "phase production must be non-negative");
+  }
+  for (const std::int64_t v : consumption) {
+    VRDF_REQUIRE(v >= 0, "phase consumption must be non-negative");
+  }
+  VRDF_REQUIRE(sum_checked(production) > 0,
+               "an edge must transfer tokens in at least one producer phase");
+  VRDF_REQUIRE(sum_checked(consumption) > 0,
+               "an edge must transfer tokens in at least one consumer phase");
+  VRDF_REQUIRE(initial_tokens >= 0, "initial tokens must be non-negative");
+  const graph::EdgeId id = topology_.add_edge(source, target);
+  edges_.push_back(CsdfEdge{source, target, std::move(production),
+                            std::move(consumption), initial_tokens});
+  return id;
+}
+
+const CsdfActor& CsdfGraph::actor(graph::NodeId id) const {
+  VRDF_REQUIRE(topology_.contains(id), "actor id out of range");
+  return actors_[id.index()];
+}
+
+const CsdfEdge& CsdfGraph::edge(graph::EdgeId id) const {
+  VRDF_REQUIRE(topology_.contains(id), "edge id out of range");
+  return edges_[id.index()];
+}
+
+std::optional<std::vector<std::int64_t>> CsdfGraph::repetition_vector() const {
+  const std::size_t n = actor_count();
+  if (n == 0) {
+    return std::vector<std::int64_t>{};
+  }
+  // Balance in cycle counts, then multiply by phase counts.
+  std::vector<std::optional<Rational>> cycles(n);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (cycles[root].has_value()) {
+      continue;
+    }
+    cycles[root] = Rational(1);
+    std::queue<graph::NodeId> queue;
+    queue.push(graph::NodeId(static_cast<graph::NodeId::underlying_type>(root)));
+    while (!queue.empty()) {
+      const graph::NodeId a = queue.front();
+      queue.pop();
+      const Rational qa = *cycles[a.index()];
+      const auto relax = [&](graph::NodeId b, const Rational& qb) -> bool {
+        if (!cycles[b.index()].has_value()) {
+          cycles[b.index()] = qb;
+          queue.push(b);
+          return true;
+        }
+        return *cycles[b.index()] == qb;
+      };
+      for (const graph::EdgeId e : topology_.out_edges(a)) {
+        const CsdfEdge& ed = edges_[e.index()];
+        const Rational qb =
+            qa * Rational(ed.production_per_cycle(), ed.consumption_per_cycle());
+        if (!relax(ed.target, qb)) {
+          return std::nullopt;
+        }
+      }
+      for (const graph::EdgeId e : topology_.in_edges(a)) {
+        const CsdfEdge& ed = edges_[e.index()];
+        const Rational qb =
+            qa * Rational(ed.consumption_per_cycle(), ed.production_per_cycle());
+        if (!relax(ed.source, qb)) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  std::int64_t denominator_lcm = 1;
+  for (const auto& q : cycles) {
+    denominator_lcm = checked_lcm(denominator_lcm, q->den());
+  }
+  std::vector<std::int64_t> reps(n);
+  std::int64_t common = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rational scaled = *cycles[i] * Rational(denominator_lcm);
+    VRDF_REQUIRE(scaled.is_integer(), "repetition scaling must be integral");
+    reps[i] = checked_mul(scaled.num(),
+                          static_cast<std::int64_t>(actors_[i].phase_count()));
+    common = gcd64(common, reps[i]);
+  }
+  // Reduce by the largest divisor of gcd(reps) that keeps every q[a] a
+  // multiple of a's phase count.
+  const auto keeps_phase_multiples = [&](std::int64_t divisor) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int64_t phases =
+          static_cast<std::int64_t>(actors_[i].phase_count());
+      if ((reps[i] / divisor) % phases != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (common > 1) {
+    std::int64_t best = 1;
+    for (std::int64_t d = 1; d * d <= common; ++d) {
+      if (common % d != 0) {
+        continue;
+      }
+      for (const std::int64_t candidate : {d, common / d}) {
+        if (candidate > best && keeps_phase_multiples(candidate)) {
+          best = candidate;
+        }
+      }
+    }
+    if (best > 1) {
+      for (auto& r : reps) {
+        r /= best;
+      }
+    }
+  }
+  return reps;
+}
+
+SdfGraph CsdfGraph::to_sdf() const {
+  SdfGraph out;
+  for (const CsdfActor& a : actors_) {
+    Duration total;
+    for (const Duration& d : a.response_times) {
+      total += d;
+    }
+    (void)out.add_actor(a.name, total);
+  }
+  for (const CsdfEdge& e : edges_) {
+    (void)out.add_edge(e.source, e.target, e.production_per_cycle(),
+                       e.consumption_per_cycle(), e.initial_tokens);
+  }
+  return out;
+}
+
+VrdfGraph CsdfGraph::to_vrdf() const {
+  VrdfGraph out;
+  for (const CsdfActor& a : actors_) {
+    Duration worst = a.response_times.front();
+    for (const Duration& d : a.response_times) {
+      worst = std::max(worst, d);
+    }
+    (void)out.add_actor(a.name, worst);
+  }
+  for (const CsdfEdge& e : edges_) {
+    (void)out.add_edge(e.source, e.target, RateSet::of(e.production),
+                       RateSet::of(e.consumption), e.initial_tokens);
+  }
+  return out;
+}
+
+}  // namespace vrdf::dataflow

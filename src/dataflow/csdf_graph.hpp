@@ -1,0 +1,84 @@
+// Cyclo-Static Dataflow (CSDF) graphs.
+//
+// CSDF actors cycle deterministically through a fixed sequence of phases;
+// rates may differ per phase but the *sequence* is data-independent.  CSDF
+// sits between SDF and VRDF: the buffer-sizing technique of [15] targets
+// it, and abstracting a CSDF edge's phase sequence to the *set* of its
+// values yields a VRDF edge whose analysis is conservative for the CSDF
+// behaviour (any phase order is one admissible quantum sequence).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/time.hpp"
+
+namespace vrdf::dataflow {
+
+class VrdfGraph;
+class SdfGraph;
+
+struct CsdfActor {
+  std::string name;
+  /// Response time per phase; the number of phases is phase_count().
+  std::vector<Duration> response_times;
+
+  [[nodiscard]] std::size_t phase_count() const { return response_times.size(); }
+};
+
+struct CsdfEdge {
+  graph::NodeId source;
+  graph::NodeId target;
+  /// production[k]: tokens produced by source phase k; length must equal
+  /// the source actor's phase count.  Sum over a cycle must be positive.
+  std::vector<std::int64_t> production;
+  /// consumption[k]: tokens consumed by target phase k.
+  std::vector<std::int64_t> consumption;
+  std::int64_t initial_tokens = 0;
+
+  [[nodiscard]] std::int64_t production_per_cycle() const;
+  [[nodiscard]] std::int64_t consumption_per_cycle() const;
+};
+
+class CsdfGraph {
+public:
+  graph::NodeId add_actor(std::string name, std::vector<Duration> response_times);
+  graph::EdgeId add_edge(graph::NodeId source, graph::NodeId target,
+                         std::vector<std::int64_t> production,
+                         std::vector<std::int64_t> consumption,
+                         std::int64_t initial_tokens = 0);
+
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] const CsdfActor& actor(graph::NodeId id) const;
+  [[nodiscard]] const CsdfEdge& edge(graph::EdgeId id) const;
+  [[nodiscard]] const graph::Digraph& topology() const { return topology_; }
+
+  /// Smallest positive integer repetition vector in *firings*: q[a] is a
+  /// multiple of a's phase count and q[src]/phases(src)·prod_per_cycle ==
+  /// q[dst]/phases(dst)·cons_per_cycle on every edge.
+  [[nodiscard]] std::optional<std::vector<std::int64_t>> repetition_vector() const;
+
+  [[nodiscard]] bool is_consistent() const { return repetition_vector().has_value(); }
+
+  /// Aggregates each actor's full phase cycle into one SDF firing
+  /// (rates summed, response times summed).  Conservative for buffer
+  /// sizing at cycle granularity.
+  [[nodiscard]] SdfGraph to_sdf() const;
+
+  /// Abstracts each edge's phase sequence to the set of its per-phase
+  /// values and each actor's response time to the per-phase maximum.  The
+  /// resulting VRDF graph admits every phase order the CSDF graph can
+  /// exhibit, so VRDF buffer capacities are sufficient for the CSDF graph.
+  [[nodiscard]] VrdfGraph to_vrdf() const;
+
+private:
+  graph::Digraph topology_;
+  std::vector<CsdfActor> actors_;
+  std::vector<CsdfEdge> edges_;
+};
+
+}  // namespace vrdf::dataflow

@@ -1,0 +1,114 @@
+#include "dataflow/rate_set.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vrdf::dataflow {
+
+RateSet::RateSet(Kind kind, std::vector<std::int64_t> values, std::int64_t lo,
+                 std::int64_t hi)
+    : kind_(kind), values_(std::move(values)), min_(lo), max_(hi) {}
+
+RateSet RateSet::singleton(std::int64_t value) {
+  VRDF_REQUIRE(value > 0, "a singleton rate set must hold a positive quantum");
+  return RateSet(Kind::Explicit, {value}, value, value);
+}
+
+RateSet RateSet::of(std::initializer_list<std::int64_t> values) {
+  return of(std::vector<std::int64_t>(values));
+}
+
+RateSet RateSet::of(std::vector<std::int64_t> values) {
+  VRDF_REQUIRE(!values.empty(), "a rate set must be non-empty");
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  VRDF_REQUIRE(values.front() >= 0, "rate quanta must be non-negative");
+  VRDF_REQUIRE(values.back() > 0,
+               "a rate set must contain a positive quantum (Pf(N) excludes {0})");
+  const std::int64_t lo = values.front();
+  const std::int64_t hi = values.back();
+  return RateSet(Kind::Explicit, std::move(values), lo, hi);
+}
+
+RateSet RateSet::interval(std::int64_t lo, std::int64_t hi) {
+  VRDF_REQUIRE(lo >= 0, "rate quanta must be non-negative");
+  VRDF_REQUIRE(hi >= lo, "rate interval must satisfy hi >= lo");
+  VRDF_REQUIRE(hi > 0, "a rate set must contain a positive quantum");
+  if (lo == hi) {
+    return singleton(hi);
+  }
+  return RateSet(Kind::Interval, {}, lo, hi);
+}
+
+bool RateSet::contains(std::int64_t value) const {
+  if (kind_ == Kind::Interval) {
+    return value >= min_ && value <= max_;
+  }
+  return std::binary_search(values_.begin(), values_.end(), value);
+}
+
+std::size_t RateSet::size() const {
+  if (kind_ == Kind::Interval) {
+    return static_cast<std::size_t>(max_ - min_ + 1);
+  }
+  return values_.size();
+}
+
+std::vector<std::int64_t> RateSet::values() const {
+  if (kind_ == Kind::Explicit) {
+    return values_;
+  }
+  std::vector<std::int64_t> out;
+  out.reserve(size());
+  for (std::int64_t v = min_; v <= max_; ++v) {
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::int64_t RateSet::nth(std::size_t i) const {
+  VRDF_REQUIRE(i < size(), "rate set index out of range");
+  if (kind_ == Kind::Interval) {
+    return min_ + static_cast<std::int64_t>(i);
+  }
+  return values_[i];
+}
+
+std::string RateSet::to_string() const {
+  std::ostringstream os;
+  if (kind_ == Kind::Interval) {
+    os << '[' << min_ << ',' << max_ << ']';
+    return os.str();
+  }
+  os << '{';
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i != 0) {
+      os << ',';
+    }
+    os << values_[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+bool operator==(const RateSet& a, const RateSet& b) {
+  if (a.min_ != b.min_ || a.max_ != b.max_) {
+    return false;
+  }
+  if (a.kind_ == b.kind_) {
+    return a.kind_ == RateSet::Kind::Interval || a.values_ == b.values_;
+  }
+  // Mixed representations are equal iff the explicit one is the full range.
+  const RateSet& explicit_set = a.kind_ == RateSet::Kind::Explicit ? a : b;
+  return explicit_set.values_.size() ==
+         static_cast<std::size_t>(explicit_set.max_ - explicit_set.min_ + 1);
+}
+
+std::ostream& operator<<(std::ostream& os, const RateSet& s) {
+  return os << s.to_string();
+}
+
+}  // namespace vrdf::dataflow

@@ -1,0 +1,75 @@
+// Finite sets of token-transfer quanta.
+//
+// The paper types production/consumption quanta as values from Pf(N): a
+// finite, non-empty subset of the naturals that is not {0} (Sec 3.1/3.2).
+// Zero *may* be an element alongside positive values — a variable-length
+// decoder is allowed firings that consume nothing (Sec 4.2, "Consumer
+// Schedule").
+//
+// Two representations share one interface:
+//  * Explicit — an enumerated set such as {2, 3} from Fig 1;
+//  * Interval — a dense range such as the MP3 decoder's bytes-per-frame
+//    n in [0, 960], which would be wasteful to enumerate.
+// The analysis only reads min/max; the simulator also samples members.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vrdf::dataflow {
+
+class RateSet {
+public:
+  /// The singleton set {value}; value must be positive (a {0} set is
+  /// excluded by Pf(N)).
+  [[nodiscard]] static RateSet singleton(std::int64_t value);
+
+  /// An enumerated set; values are deduplicated and sorted.  Must contain at
+  /// least one positive value.
+  [[nodiscard]] static RateSet of(std::initializer_list<std::int64_t> values);
+  [[nodiscard]] static RateSet of(std::vector<std::int64_t> values);
+
+  /// The dense integer interval [lo, hi]; hi must be positive and >= lo >= 0.
+  [[nodiscard]] static RateSet interval(std::int64_t lo, std::int64_t hi);
+
+  /// Minimum element (the paper's checked quantity γ̌ / π̌).
+  [[nodiscard]] std::int64_t min() const { return min_; }
+  /// Maximum element (the paper's hatted quantity γ̂ / π̂).
+  [[nodiscard]] std::int64_t max() const { return max_; }
+
+  [[nodiscard]] bool is_singleton() const { return min_ == max_; }
+  [[nodiscard]] bool contains_zero() const { return min_ == 0; }
+  [[nodiscard]] bool contains(std::int64_t value) const;
+
+  /// Number of elements.
+  [[nodiscard]] std::size_t size() const;
+
+  /// All elements in ascending order (intervals are enumerated).
+  [[nodiscard]] std::vector<std::int64_t> values() const;
+
+  /// The i-th smallest element, 0-based; used for uniform sampling.
+  [[nodiscard]] std::int64_t nth(std::size_t i) const;
+
+  /// "{3}", "{2,3}" or "[0,960]".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const RateSet& a, const RateSet& b);
+
+private:
+  enum class Kind { Explicit, Interval };
+
+  RateSet(Kind kind, std::vector<std::int64_t> values, std::int64_t lo,
+          std::int64_t hi);
+
+  Kind kind_;
+  std::vector<std::int64_t> values_;  // Explicit only: sorted, unique
+  std::int64_t min_;
+  std::int64_t max_;
+};
+
+std::ostream& operator<<(std::ostream& os, const RateSet& s);
+
+}  // namespace vrdf::dataflow

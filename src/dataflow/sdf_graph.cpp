@@ -1,0 +1,128 @@
+#include "dataflow/sdf_graph.hpp"
+
+#include <queue>
+
+#include "dataflow/vrdf_graph.hpp"
+#include "util/checked_int.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::dataflow {
+
+graph::NodeId SdfGraph::add_actor(std::string name, Duration response_time) {
+  VRDF_REQUIRE(!name.empty(), "actor name must be non-empty");
+  VRDF_REQUIRE(response_time.is_positive(), "actor response time must be positive");
+  VRDF_REQUIRE(!find_actor(name).has_value(),
+               "actor name '" + name + "' is already in use");
+  const graph::NodeId id = topology_.add_node();
+  actors_.push_back(SdfActor{std::move(name), response_time});
+  return id;
+}
+
+graph::EdgeId SdfGraph::add_edge(graph::NodeId source, graph::NodeId target,
+                                 std::int64_t production, std::int64_t consumption,
+                                 std::int64_t initial_tokens) {
+  VRDF_REQUIRE(production > 0, "SDF production quantum must be positive");
+  VRDF_REQUIRE(consumption > 0, "SDF consumption quantum must be positive");
+  VRDF_REQUIRE(initial_tokens >= 0, "initial tokens must be non-negative");
+  const graph::EdgeId id = topology_.add_edge(source, target);
+  edges_.push_back(SdfEdge{source, target, production, consumption, initial_tokens});
+  return id;
+}
+
+const SdfActor& SdfGraph::actor(graph::NodeId id) const {
+  VRDF_REQUIRE(topology_.contains(id), "actor id out of range");
+  return actors_[id.index()];
+}
+
+const SdfEdge& SdfGraph::edge(graph::EdgeId id) const {
+  VRDF_REQUIRE(topology_.contains(id), "edge id out of range");
+  return edges_[id.index()];
+}
+
+std::optional<graph::NodeId> SdfGraph::find_actor(const std::string& name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].name == name) {
+      return graph::NodeId(static_cast<graph::NodeId::underlying_type>(i));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::int64_t>> SdfGraph::repetition_vector() const {
+  const std::size_t n = actor_count();
+  if (n == 0) {
+    return std::vector<std::int64_t>{};
+  }
+  // Assign fractional firing counts by BFS over the undirected structure,
+  // then verify every edge and scale to the least integer solution.
+  std::vector<std::optional<Rational>> frac(n);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (frac[root].has_value()) {
+      continue;
+    }
+    frac[root] = Rational(1);
+    std::queue<graph::NodeId> queue;
+    queue.push(graph::NodeId(static_cast<graph::NodeId::underlying_type>(root)));
+    while (!queue.empty()) {
+      const graph::NodeId a = queue.front();
+      queue.pop();
+      const Rational qa = *frac[a.index()];
+      const auto relax = [&](graph::NodeId b, const Rational& qb) -> bool {
+        if (!frac[b.index()].has_value()) {
+          frac[b.index()] = qb;
+          queue.push(b);
+          return true;
+        }
+        return *frac[b.index()] == qb;
+      };
+      for (const graph::EdgeId e : topology_.out_edges(a)) {
+        const SdfEdge& ed = edges_[e.index()];
+        // q[src]·p == q[dst]·c  =>  q[dst] = q[src]·p/c.
+        const Rational qb = qa * Rational(ed.production, ed.consumption);
+        if (!relax(ed.target, qb)) {
+          return std::nullopt;
+        }
+      }
+      for (const graph::EdgeId e : topology_.in_edges(a)) {
+        const SdfEdge& ed = edges_[e.index()];
+        const Rational qb = qa * Rational(ed.consumption, ed.production);
+        if (!relax(ed.source, qb)) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  // Scale: multiply by lcm of denominators, then divide by gcd.
+  std::int64_t denominator_lcm = 1;
+  for (const auto& q : frac) {
+    denominator_lcm = checked_lcm(denominator_lcm, q->den());
+  }
+  std::vector<std::int64_t> reps(n);
+  std::int64_t common = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rational scaled = *frac[i] * Rational(denominator_lcm);
+    VRDF_REQUIRE(scaled.is_integer(), "repetition scaling must be integral");
+    reps[i] = scaled.num();
+    common = gcd64(common, reps[i]);
+  }
+  if (common > 1) {
+    for (auto& r : reps) {
+      r /= common;
+    }
+  }
+  return reps;
+}
+
+VrdfGraph SdfGraph::to_vrdf() const {
+  VrdfGraph out;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    (void)out.add_actor(actors_[i].name, actors_[i].response_time);
+  }
+  for (const SdfEdge& e : edges_) {
+    (void)out.add_edge(e.source, e.target, RateSet::singleton(e.production),
+                       RateSet::singleton(e.consumption), e.initial_tokens);
+  }
+  return out;
+}
+
+}  // namespace vrdf::dataflow

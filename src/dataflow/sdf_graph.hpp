@@ -1,0 +1,69 @@
+// Synchronous Dataflow (SDF) graphs.
+//
+// SDF is the data-independent special case of VRDF: every edge carries one
+// fixed production and one fixed consumption quantum.  The baselines
+// ("traditional analysis techniques [10]" and the data-independent
+// technique [14]) operate on this model, and the paper's lower-bound
+// comparison fixes the MP3 decoder's variable rate n to its maximum 960 to
+// obtain an SDF graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "util/rational.hpp"
+#include "util/time.hpp"
+
+namespace vrdf::dataflow {
+
+class VrdfGraph;
+
+struct SdfActor {
+  std::string name;
+  Duration response_time;
+};
+
+struct SdfEdge {
+  graph::NodeId source;
+  graph::NodeId target;
+  std::int64_t production;   // tokens produced per source firing, > 0
+  std::int64_t consumption;  // tokens consumed per target firing, > 0
+  std::int64_t initial_tokens = 0;
+};
+
+class SdfGraph {
+public:
+  graph::NodeId add_actor(std::string name, Duration response_time);
+  graph::EdgeId add_edge(graph::NodeId source, graph::NodeId target,
+                         std::int64_t production, std::int64_t consumption,
+                         std::int64_t initial_tokens = 0);
+
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] const SdfActor& actor(graph::NodeId id) const;
+  [[nodiscard]] const SdfEdge& edge(graph::EdgeId id) const;
+  [[nodiscard]] const graph::Digraph& topology() const { return topology_; }
+  [[nodiscard]] std::optional<graph::NodeId> find_actor(const std::string& name) const;
+
+  /// Smallest positive integer repetition vector q with
+  /// q[src]·production == q[dst]·consumption on every edge, or nullopt when
+  /// the balance equations only admit the zero solution (inconsistent
+  /// graph).  Disconnected graphs are normalized per weak component.
+  [[nodiscard]] std::optional<std::vector<std::int64_t>> repetition_vector() const;
+
+  [[nodiscard]] bool is_consistent() const { return repetition_vector().has_value(); }
+
+  /// Lifts the SDF graph into the VRDF model (singleton rate sets, bare
+  /// edges; buffer pairing is a task-layer notion).
+  [[nodiscard]] VrdfGraph to_vrdf() const;
+
+private:
+  graph::Digraph topology_;
+  std::vector<SdfActor> actors_;
+  std::vector<SdfEdge> edges_;
+};
+
+}  // namespace vrdf::dataflow

@@ -1,0 +1,59 @@
+#include "dataflow/validation.hpp"
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+
+namespace vrdf::dataflow {
+
+std::string ValidationReport::summary() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i != 0) {
+      os << "; ";
+    }
+    os << errors[i];
+  }
+  return os.str();
+}
+
+ValidationReport validate_chain_model(const VrdfGraph& graph) {
+  ValidationReport report;
+  if (graph.actor_count() == 0) {
+    report.errors.push_back("graph has no actors");
+    return report;
+  }
+  if (!graph::is_weakly_connected(graph.topology())) {
+    report.errors.push_back("graph is not weakly connected");
+  }
+  for (const EdgeId e : graph.edges()) {
+    const Edge& edge = graph.edge(e);
+    if (!edge.paired.is_valid()) {
+      std::ostringstream os;
+      os << "edge " << graph.actor(edge.source).name << " -> "
+         << graph.actor(edge.target).name
+         << " is not part of a buffer pair";
+      report.errors.push_back(os.str());
+    }
+  }
+  for (const BufferEdges& b : graph.buffers()) {
+    const Edge& data = graph.edge(b.data);
+    const Edge& space = graph.edge(b.space);
+    if (!(data.production == space.consumption) ||
+        !(data.consumption == space.production)) {
+      std::ostringstream os;
+      os << "buffer " << graph.actor(data.source).name << " -> "
+         << graph.actor(data.target).name
+         << " violates strong consistency: data(pi=" << data.production
+         << ", gamma=" << data.consumption << ") vs space(pi="
+         << space.production << ", gamma=" << space.consumption << ')';
+      report.errors.push_back(os.str());
+    }
+  }
+  if (report.ok() && !graph.chain_view().has_value()) {
+    report.errors.push_back("data edges do not form a chain (Sec 3.1)");
+  }
+  return report;
+}
+
+}  // namespace vrdf::dataflow

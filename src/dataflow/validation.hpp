@@ -1,0 +1,34 @@
+// Structural validation of VRDF graphs against the paper's model rules.
+//
+// Sec 3.1 restricts task graphs to weakly connected chains; Sec 3.3 notes
+// that graphs constructed from such task graphs are inherently strongly
+// consistent because a task returns exactly the space it consumed and
+// requires exactly the space it produces.  validate() re-checks those
+// invariants on an arbitrary VRDF graph so that hand-built models get the
+// same guarantees as converted task graphs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::dataflow {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  /// All messages joined with "; " (empty string when ok).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Checks, in order:
+///  * the graph has at least one actor and is weakly connected;
+///  * every edge belongs to an anti-parallel buffer pair;
+///  * each pair satisfies π(data) == γ(space) and γ(data) == π(space)
+///    (strong consistency of the buffer protocol);
+///  * the data edges form a chain (Sec 3.1 topology restriction).
+[[nodiscard]] ValidationReport validate_chain_model(const VrdfGraph& graph);
+
+}  // namespace vrdf::dataflow

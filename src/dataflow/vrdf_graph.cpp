@@ -1,0 +1,105 @@
+#include "dataflow/vrdf_graph.hpp"
+
+#include "util/error.hpp"
+
+namespace vrdf::dataflow {
+
+ActorId VrdfGraph::add_actor(std::string name, Duration response_time) {
+  VRDF_REQUIRE(!name.empty(), "actor name must be non-empty");
+  VRDF_REQUIRE(response_time.is_positive(), "actor response time must be positive");
+  VRDF_REQUIRE(!find_actor(name).has_value(),
+               "actor name '" + name + "' is already in use");
+  const ActorId id = topology_.add_node();
+  actors_.push_back(Actor{std::move(name), response_time});
+  return id;
+}
+
+EdgeId VrdfGraph::add_edge(ActorId source, ActorId target, RateSet production,
+                           RateSet consumption, std::int64_t initial_tokens) {
+  VRDF_REQUIRE(topology_.contains(source), "edge source actor does not exist");
+  VRDF_REQUIRE(topology_.contains(target), "edge target actor does not exist");
+  VRDF_REQUIRE(initial_tokens >= 0, "initial tokens must be non-negative");
+  const EdgeId id = topology_.add_edge(source, target);
+  edges_.push_back(Edge{source, target, std::move(production),
+                        std::move(consumption), initial_tokens,
+                        EdgeId::invalid()});
+  return id;
+}
+
+BufferEdges VrdfGraph::add_buffer(ActorId producer, ActorId consumer,
+                                  RateSet production, RateSet consumption,
+                                  std::int64_t capacity) {
+  const EdgeId data = add_edge(producer, consumer, production, consumption, 0);
+  const EdgeId space =
+      add_edge(consumer, producer, consumption, production, capacity);
+  edges_[data.index()].paired = space;
+  edges_[space.index()].paired = data;
+  const BufferEdges pair{data, space};
+  buffers_.push_back(pair);
+  return pair;
+}
+
+const Actor& VrdfGraph::actor(ActorId id) const {
+  VRDF_REQUIRE(topology_.contains(id), "actor id out of range");
+  return actors_[id.index()];
+}
+
+const Edge& VrdfGraph::edge(EdgeId id) const {
+  VRDF_REQUIRE(topology_.contains(id), "edge id out of range");
+  return edges_[id.index()];
+}
+
+std::optional<ActorId> VrdfGraph::find_actor(const std::string& name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].name == name) {
+      return ActorId(static_cast<ActorId::underlying_type>(i));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<VrdfGraph::ChainView> VrdfGraph::chain_view() const {
+  // Every edge must belong to a buffer pair; chain recognition then runs on
+  // the reduced digraph that has one edge per buffer, in data direction.
+  for (const Edge& e : edges_) {
+    if (!e.paired.is_valid()) {
+      return std::nullopt;
+    }
+  }
+  graph::Digraph data_only;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    (void)data_only.add_node();
+  }
+  for (const BufferEdges& b : buffers_) {
+    const Edge& data = edges_[b.data.index()];
+    (void)data_only.add_edge(data.source, data.target);
+  }
+  const auto order = graph::chain_order(data_only);
+  if (!order.has_value()) {
+    return std::nullopt;
+  }
+  // Reject orders that require reversed buffers: every consecutive pair must
+  // be connected by a buffer whose data edge points forward.
+  ChainView view;
+  view.actors = order->nodes;
+  view.buffers.reserve(order->forward_edges.size());
+  for (std::size_t pos = 0; pos < order->forward_edges.size(); ++pos) {
+    // Buffers were added to `data_only` in buffers_ order, so the reduced
+    // edge index is the buffer index.
+    const BufferEdges& b = buffers_[order->forward_edges[pos].index()];
+    const Edge& data = edges_[b.data.index()];
+    if (data.source != view.actors[pos] || data.target != view.actors[pos + 1]) {
+      return std::nullopt;
+    }
+    view.buffers.push_back(b);
+  }
+  return view;
+}
+
+void VrdfGraph::set_initial_tokens(EdgeId id, std::int64_t tokens) {
+  VRDF_REQUIRE(topology_.contains(id), "edge id out of range");
+  VRDF_REQUIRE(tokens >= 0, "initial tokens must be non-negative");
+  edges_[id.index()].initial_tokens = tokens;
+}
+
+}  // namespace vrdf::dataflow

@@ -1,0 +1,120 @@
+// Variable-Rate Dataflow (VRDF) graphs — the paper's analysis model
+// (Sec 3.2).
+//
+// A VRDF graph G = (V, E, π, γ, δ, ρ):
+//  * actors V fire with response time ρ(v); tokens are consumed atomically
+//    at the start of a firing and produced atomically ρ(v) later;
+//  * per edge e, each firing's production quantum is some element of π(e)
+//    and its consumption quantum some element of γ(e);
+//  * δ(e) initial tokens.
+//
+// A FIFO buffer of the task layer maps to a pair of anti-parallel edges
+// (data edge + space edge); such pairs are recorded so that analysis and
+// simulation can enforce the task-level coupling "space returned equals
+// data consumed" that makes chains strongly consistent (Sec 3.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/rate_set.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "util/time.hpp"
+
+namespace vrdf::dataflow {
+
+using ActorId = graph::NodeId;
+using EdgeId = graph::EdgeId;
+
+struct Actor {
+  std::string name;
+  Duration response_time;  // ρ(v) > 0
+};
+
+struct Edge {
+  ActorId source;
+  ActorId target;
+  RateSet production;          // π(e), quanta produced per source firing
+  RateSet consumption;         // γ(e), quanta consumed per target firing
+  std::int64_t initial_tokens = 0;  // δ(e)
+  /// The anti-parallel partner edge when this edge is half of a buffer,
+  /// invalid otherwise.
+  EdgeId paired = EdgeId::invalid();
+};
+
+/// The two edges modelling one task-level buffer: `data` carries full
+/// containers producer→consumer, `space` carries empty containers back.
+struct BufferEdges {
+  EdgeId data;
+  EdgeId space;
+};
+
+class VrdfGraph {
+public:
+  /// Adds an actor; names must be unique and non-empty, ρ must be positive.
+  ActorId add_actor(std::string name, Duration response_time);
+
+  /// Adds a bare edge (no buffer pairing).
+  EdgeId add_edge(ActorId source, ActorId target, RateSet production,
+                  RateSet consumption, std::int64_t initial_tokens = 0);
+
+  /// Adds a buffer from `producer` to `consumer` as an anti-parallel edge
+  /// pair (Sec 3.3): data edge with (π=production, γ=consumption, δ=0) and
+  /// space edge with (π=consumption, γ=production, δ=capacity).
+  BufferEdges add_buffer(ActorId producer, ActorId consumer, RateSet production,
+                         RateSet consumption, std::int64_t capacity = 0);
+
+  [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Actor& actor(ActorId id) const;
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+
+  [[nodiscard]] std::vector<ActorId> actors() const { return topology_.nodes(); }
+  [[nodiscard]] std::vector<EdgeId> edges() const { return topology_.edges(); }
+
+  /// Actor lookup by unique name.
+  [[nodiscard]] std::optional<ActorId> find_actor(const std::string& name) const;
+
+  /// Edges entering/leaving an actor.
+  [[nodiscard]] std::span<const EdgeId> in_edges(ActorId id) const {
+    return topology_.in_edges(id);
+  }
+  [[nodiscard]] std::span<const EdgeId> out_edges(ActorId id) const {
+    return topology_.out_edges(id);
+  }
+
+  /// Replaces δ(e); used to install computed buffer capacities.
+  void set_initial_tokens(EdgeId id, std::int64_t tokens);
+
+  /// All buffers (each anti-parallel pair reported once, as it was added).
+  [[nodiscard]] std::vector<BufferEdges> buffers() const { return buffers_; }
+
+  /// Underlying topology (for the generic graph algorithms).
+  [[nodiscard]] const graph::Digraph& topology() const { return topology_; }
+
+  /// A VRDF graph seen as a chain of buffers: actors ordered from the data
+  /// source to the data sink, with buffers[i] connecting actors[i] to
+  /// actors[i+1] in data direction.
+  struct ChainView {
+    std::vector<ActorId> actors;
+    std::vector<BufferEdges> buffers;
+  };
+
+  /// Chain recognition over *data* edges (space edges are the anti-parallel
+  /// buffer partners and do not count towards the topology restriction of
+  /// Sec 3.1).  Returns nullopt when the graph is not a chain of buffers or
+  /// contains unpaired edges.
+  [[nodiscard]] std::optional<ChainView> chain_view() const;
+
+private:
+  graph::Digraph topology_;
+  std::vector<Actor> actors_;
+  std::vector<Edge> edges_;
+  std::vector<BufferEdges> buffers_;
+};
+
+}  // namespace vrdf::dataflow

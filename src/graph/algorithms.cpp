@@ -1,0 +1,294 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace vrdf::graph {
+
+namespace {
+
+/// Distinct undirected neighbours of every node; self-loops are reported via
+/// the boolean result.
+struct UndirectedView {
+  std::vector<std::vector<NodeId>> neighbours;
+  bool has_self_loop = false;
+};
+
+UndirectedView undirected_view(const Digraph& g) {
+  UndirectedView view;
+  view.neighbours.resize(g.node_count());
+  std::vector<std::unordered_set<NodeId>> seen(g.node_count());
+  for (const EdgeId e : g.edges()) {
+    const NodeId s = g.edge_source(e);
+    const NodeId t = g.edge_target(e);
+    if (s == t) {
+      view.has_self_loop = true;
+      continue;
+    }
+    if (seen[s.index()].insert(t).second) {
+      view.neighbours[s.index()].push_back(t);
+    }
+    if (seen[t.index()].insert(s).second) {
+      view.neighbours[t.index()].push_back(s);
+    }
+  }
+  return view;
+}
+
+}  // namespace
+
+bool is_weakly_connected(const Digraph& g) {
+  if (g.node_count() <= 1) {
+    return true;
+  }
+  const UndirectedView view = undirected_view(g);
+  std::vector<char> visited(g.node_count(), 0);
+  std::vector<NodeId> stack{NodeId(0)};
+  visited[0] = 1;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const NodeId m : view.neighbours[n.index()]) {
+      if (visited[m.index()] == 0) {
+        visited[m.index()] = 1;
+        ++reached;
+        stack.push_back(m);
+      }
+    }
+  }
+  return reached == g.node_count();
+}
+
+std::optional<ChainOrder> chain_order(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  if (n == 0) {
+    return std::nullopt;
+  }
+  const UndirectedView view = undirected_view(g);
+  if (view.has_self_loop) {
+    return std::nullopt;
+  }
+  if (n == 1) {
+    if (g.edge_count() != 0) {
+      return std::nullopt;  // only self-loops possible, already rejected
+    }
+    ChainOrder order;
+    order.nodes = {NodeId(0)};
+    return order;
+  }
+
+  // A path graph has exactly two endpoints of undirected degree one and
+  // n-1 distinct undirected adjacencies; everything else has degree two.
+  std::vector<NodeId> endpoints;
+  std::size_t pair_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t deg = view.neighbours[i].size();
+    pair_count += deg;
+    if (deg == 1) {
+      endpoints.push_back(NodeId(static_cast<NodeId::underlying_type>(i)));
+    } else if (deg != 2) {
+      return std::nullopt;
+    }
+  }
+  pair_count /= 2;
+  if (endpoints.size() != 2 || pair_count != n - 1) {
+    return std::nullopt;
+  }
+  if (!is_weakly_connected(g)) {
+    return std::nullopt;
+  }
+
+  // Walk the path from one endpoint.
+  std::vector<NodeId> path;
+  path.reserve(n);
+  NodeId prev = NodeId::invalid();
+  NodeId cur = endpoints[0];
+  while (true) {
+    path.push_back(cur);
+    NodeId next = NodeId::invalid();
+    for (const NodeId m : view.neighbours[cur.index()]) {
+      if (m != prev) {
+        next = m;
+        break;
+      }
+    }
+    if (!next.is_valid()) {
+      break;
+    }
+    prev = cur;
+    cur = next;
+  }
+  if (path.size() != n) {
+    return std::nullopt;
+  }
+
+  // Orient the path so that every consecutive pair has exactly one forward
+  // edge; anti-parallel edges are collected as back edges.
+  const auto try_orientation = [&g](const std::vector<NodeId>& nodes)
+      -> std::optional<ChainOrder> {
+    ChainOrder order;
+    order.nodes = nodes;
+    order.forward_edges.reserve(nodes.size() - 1);
+    order.back_edges.resize(nodes.size() - 1);
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      const NodeId u = nodes[i];
+      const NodeId w = nodes[i + 1];
+      EdgeId forward = EdgeId::invalid();
+      for (const EdgeId e : g.out_edges(u)) {
+        if (g.edge_target(e) == w) {
+          if (forward.is_valid()) {
+            return std::nullopt;  // parallel forward edges: ambiguous chain
+          }
+          forward = e;
+        }
+      }
+      if (!forward.is_valid()) {
+        return std::nullopt;
+      }
+      order.forward_edges.push_back(forward);
+      for (const EdgeId e : g.out_edges(w)) {
+        if (g.edge_target(e) == u) {
+          order.back_edges[i].push_back(e);
+        }
+      }
+    }
+    return order;
+  };
+
+  if (auto order = try_orientation(path)) {
+    return order;
+  }
+  std::reverse(path.begin(), path.end());
+  return try_orientation(path);
+}
+
+std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
+  std::vector<std::size_t> in_deg(g.node_count(), 0);
+  for (const EdgeId e : g.edges()) {
+    ++in_deg[g.edge_target(e).index()];
+  }
+  std::vector<NodeId> ready;
+  for (const NodeId n : g.nodes()) {
+    if (in_deg[n.index()] == 0) {
+      ready.push_back(n);
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(g.node_count());
+  while (!ready.empty()) {
+    const NodeId n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (const EdgeId e : g.out_edges(n)) {
+      const NodeId m = g.edge_target(e);
+      if (--in_deg[m.index()] == 0) {
+        ready.push_back(m);
+      }
+    }
+  }
+  if (order.size() != g.node_count()) {
+    return std::nullopt;
+  }
+  return order;
+}
+
+bool has_directed_cycle(const Digraph& g) {
+  return !topological_order(g).has_value();
+}
+
+std::vector<std::vector<NodeId>> strongly_connected_components(const Digraph& g) {
+  // Iterative Tarjan.
+  const std::size_t n = g.node_count();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  std::vector<std::vector<NodeId>> components;
+  std::size_t next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+
+  for (const NodeId root : g.nodes()) {
+    if (index[root.index()] != kUnvisited) {
+      continue;
+    }
+    std::vector<Frame> frames{{root, 0}};
+    index[root.index()] = lowlink[root.index()] = next_index++;
+    stack.push_back(root);
+    on_stack[root.index()] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto out = g.out_edges(f.node);
+      if (f.edge_pos < out.size()) {
+        const NodeId m = g.edge_target(out[f.edge_pos]);
+        ++f.edge_pos;
+        if (index[m.index()] == kUnvisited) {
+          index[m.index()] = lowlink[m.index()] = next_index++;
+          stack.push_back(m);
+          on_stack[m.index()] = 1;
+          frames.push_back(Frame{m, 0});
+        } else if (on_stack[m.index()] != 0) {
+          lowlink[f.node.index()] =
+              std::min(lowlink[f.node.index()], index[m.index()]);
+        }
+        continue;
+      }
+      // All successors processed.
+      const NodeId v = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const NodeId parent = frames.back().node;
+        lowlink[parent.index()] = std::min(lowlink[parent.index()], lowlink[v.index()]);
+      }
+      if (lowlink[v.index()] == index[v.index()]) {
+        std::vector<NodeId> component;
+        while (true) {
+          const NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w.index()] = 0;
+          component.push_back(w);
+          if (w == v) {
+            break;
+          }
+        }
+        components.push_back(std::move(component));
+      }
+    }
+  }
+  return components;
+}
+
+bool has_path(const Digraph& g, NodeId src, NodeId dst) {
+  VRDF_REQUIRE(g.contains(src) && g.contains(dst), "has_path: node out of range");
+  if (src == dst) {
+    return true;
+  }
+  std::vector<char> visited(g.node_count(), 0);
+  std::vector<NodeId> stack{src};
+  visited[src.index()] = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const EdgeId e : g.out_edges(n)) {
+      const NodeId m = g.edge_target(e);
+      if (m == dst) {
+        return true;
+      }
+      if (visited[m.index()] == 0) {
+        visited[m.index()] = 1;
+        stack.push_back(m);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace vrdf::graph

@@ -1,0 +1,49 @@
+// Topology algorithms used by model validation.
+//
+// The paper restricts task graphs to *chains* (Sec 3.1): every task has at
+// most one input and one output buffer, and the graph is weakly connected.
+// chain_order() recognizes that shape and returns the tasks from source to
+// sink.  The remaining algorithms support general-graph diagnostics and
+// the SDF/CSDF substrate (cycle detection, SCCs, topological order).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace vrdf::graph {
+
+/// True when the underlying undirected graph is connected.  The empty graph
+/// counts as connected.
+[[nodiscard]] bool is_weakly_connected(const Digraph& g);
+
+/// Nodes of a directed chain a1 -> a2 -> ... -> ak ordered from the unique
+/// source to the unique sink, or nullopt when the graph is not a chain.
+/// A single node with no edges is a chain of length one.  Edges are allowed
+/// to come in anti-parallel pairs (forward data edge + reverse space edge);
+/// `ignore_back_edges` treats an edge b->a as a back edge when a->b also
+/// exists and a precedes b in the candidate order.
+struct ChainOrder {
+  std::vector<NodeId> nodes;                 // source first, sink last
+  std::vector<EdgeId> forward_edges;         // forward_edges[i]: nodes[i]->nodes[i+1]
+  std::vector<std::vector<EdgeId>> back_edges;  // back_edges[i]: nodes[i+1]->nodes[i]
+};
+[[nodiscard]] std::optional<ChainOrder> chain_order(const Digraph& g);
+
+/// Topological order of a DAG, or nullopt when the graph has a directed
+/// cycle.
+[[nodiscard]] std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+/// True when the graph contains a directed cycle.
+[[nodiscard]] bool has_directed_cycle(const Digraph& g);
+
+/// Strongly connected components (Tarjan); each component lists its nodes,
+/// components are emitted in reverse topological order of the condensation.
+[[nodiscard]] std::vector<std::vector<NodeId>> strongly_connected_components(
+    const Digraph& g);
+
+/// True when a directed path src ->* dst exists (src == dst counts as true).
+[[nodiscard]] bool has_path(const Digraph& g, NodeId src, NodeId dst);
+
+}  // namespace vrdf::graph

@@ -1,0 +1,62 @@
+#include "graph/digraph.hpp"
+
+#include "util/error.hpp"
+
+namespace vrdf::graph {
+
+NodeId Digraph::add_node() {
+  const auto id = NodeId(static_cast<NodeId::underlying_type>(node_count()));
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return id;
+}
+
+EdgeId Digraph::add_edge(NodeId src, NodeId dst) {
+  VRDF_REQUIRE(contains(src), "edge source node does not exist");
+  VRDF_REQUIRE(contains(dst), "edge target node does not exist");
+  const auto id = EdgeId(static_cast<EdgeId::underlying_type>(edge_count()));
+  edges_.push_back(EdgeRecord{src, dst});
+  out_edges_[src.index()].push_back(id);
+  in_edges_[dst.index()].push_back(id);
+  return id;
+}
+
+NodeId Digraph::edge_source(EdgeId e) const {
+  VRDF_REQUIRE(contains(e), "edge id out of range");
+  return edges_[e.index()].src;
+}
+
+NodeId Digraph::edge_target(EdgeId e) const {
+  VRDF_REQUIRE(contains(e), "edge id out of range");
+  return edges_[e.index()].dst;
+}
+
+std::span<const EdgeId> Digraph::out_edges(NodeId n) const {
+  VRDF_REQUIRE(contains(n), "node id out of range");
+  return out_edges_[n.index()];
+}
+
+std::span<const EdgeId> Digraph::in_edges(NodeId n) const {
+  VRDF_REQUIRE(contains(n), "node id out of range");
+  return in_edges_[n.index()];
+}
+
+std::vector<NodeId> Digraph::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(node_count());
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    out.push_back(NodeId(static_cast<NodeId::underlying_type>(i)));
+  }
+  return out;
+}
+
+std::vector<EdgeId> Digraph::edges() const {
+  std::vector<EdgeId> out;
+  out.reserve(edge_count());
+  for (std::size_t i = 0; i < edge_count(); ++i) {
+    out.push_back(EdgeId(static_cast<EdgeId::underlying_type>(i)));
+  }
+  return out;
+}
+
+}  // namespace vrdf::graph

@@ -1,0 +1,63 @@
+// Directed multigraph container.
+//
+// A minimal adjacency structure shared by the task-graph and dataflow
+// layers: those layers keep their payloads (rates, response times, ...) in
+// parallel arrays indexed by NodeId/EdgeId.  Parallel edges and self-loops
+// are representable (a VRDF buffer is a pair of anti-parallel edges).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/ids.hpp"
+
+namespace vrdf::graph {
+
+class Digraph {
+public:
+  Digraph() = default;
+
+  /// Adds an isolated node and returns its id.
+  NodeId add_node();
+
+  /// Adds an edge src -> dst; both nodes must exist.
+  EdgeId add_edge(NodeId src, NodeId dst);
+
+  [[nodiscard]] std::size_t node_count() const { return out_edges_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] NodeId edge_source(EdgeId e) const;
+  [[nodiscard]] NodeId edge_target(EdgeId e) const;
+
+  /// Outgoing edge ids of `n`, in insertion order.
+  [[nodiscard]] std::span<const EdgeId> out_edges(NodeId n) const;
+  /// Incoming edge ids of `n`, in insertion order.
+  [[nodiscard]] std::span<const EdgeId> in_edges(NodeId n) const;
+
+  [[nodiscard]] std::size_t out_degree(NodeId n) const { return out_edges(n).size(); }
+  [[nodiscard]] std::size_t in_degree(NodeId n) const { return in_edges(n).size(); }
+
+  [[nodiscard]] bool contains(NodeId n) const {
+    return n.is_valid() && n.index() < node_count();
+  }
+  [[nodiscard]] bool contains(EdgeId e) const {
+    return e.is_valid() && e.index() < edge_count();
+  }
+
+  /// Iteration helpers: node ids are dense 0..node_count-1.
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+  [[nodiscard]] std::vector<EdgeId> edges() const;
+
+private:
+  struct EdgeRecord {
+    NodeId src;
+    NodeId dst;
+  };
+
+  std::vector<EdgeRecord> edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+};
+
+}  // namespace vrdf::graph

@@ -1,0 +1,60 @@
+// Strongly typed indices for graph entities.
+//
+// Nodes and edges are dense indices into the owning graph's arrays.  The
+// phantom Tag parameter prevents an actor id from being used where a task
+// id is expected even though both are "small integers".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace vrdf::graph {
+
+template <typename Tag>
+class Id {
+public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+  [[nodiscard]] constexpr bool is_valid() const { return value_ != kInvalid; }
+
+  [[nodiscard]] static constexpr Id invalid() { return Id(); }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+private:
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct EdgeTag {};
+
+using NodeId = Id<NodeTag>;
+using EdgeId = Id<EdgeTag>;
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.is_valid()) {
+    return os << "#invalid";
+  }
+  return os << '#' << id.value();
+}
+
+}  // namespace vrdf::graph
+
+template <typename Tag>
+struct std::hash<vrdf::graph::Id<Tag>> {
+  std::size_t operator()(vrdf::graph::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,79 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+
+namespace vrdf::io {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const dataflow::VrdfGraph& graph) {
+  std::ostringstream os;
+  os << "digraph vrdf {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const dataflow::ActorId a : graph.actors()) {
+    const dataflow::Actor& actor = graph.actor(a);
+    os << "  n" << a.value() << " [label=\"" << escape(actor.name)
+       << "\\nrho=" << actor.response_time.seconds().to_string() << " s\"];\n";
+  }
+  for (const dataflow::EdgeId e : graph.edges()) {
+    const dataflow::Edge& edge = graph.edge(e);
+    const bool is_space_edge =
+        edge.paired.is_valid() && edge.paired.value() < e.value();
+    os << "  n" << edge.source.value() << " -> n" << edge.target.value()
+       << " [label=\"";
+    if (is_space_edge) {
+      os << "space d=" << edge.initial_tokens << "\" style=dashed";
+    } else {
+      os << escape(edge.production.to_string()) << " / "
+         << escape(edge.consumption.to_string());
+      if (edge.initial_tokens != 0) {
+        os << " d=" << edge.initial_tokens;
+      }
+      os << '"';
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const taskgraph::TaskGraph& graph) {
+  std::ostringstream os;
+  os << "digraph taskgraph {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t i = 0; i < graph.task_count(); ++i) {
+    const auto id =
+        taskgraph::TaskId(static_cast<taskgraph::TaskId::underlying_type>(i));
+    const taskgraph::Task& task = graph.task(id);
+    os << "  n" << i << " [label=\"" << escape(task.name) << "\\nkappa="
+       << task.worst_case_response_time.seconds().to_string() << " s\"];\n";
+  }
+  for (std::size_t i = 0; i < graph.buffer_count(); ++i) {
+    const auto id = taskgraph::BufferId(
+        static_cast<taskgraph::BufferId::underlying_type>(i));
+    const taskgraph::Buffer& buffer = graph.buffer(id);
+    os << "  n" << buffer.producer.value() << " -> n" << buffer.consumer.value()
+       << " [label=\"" << escape(buffer.production.to_string()) << " / "
+       << escape(buffer.consumption.to_string());
+    if (buffer.capacity.has_value()) {
+      os << " zeta=" << *buffer.capacity;
+    }
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace vrdf::io

@@ -1,0 +1,19 @@
+// Graphviz DOT export for task graphs and VRDF graphs.
+#pragma once
+
+#include <string>
+
+#include "dataflow/vrdf_graph.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace vrdf::io {
+
+/// DOT digraph: actors as boxes (name, ρ), data edges solid with
+/// "π / γ" labels, space edges dashed with their initial-token count.
+[[nodiscard]] std::string to_dot(const dataflow::VrdfGraph& graph);
+
+/// DOT digraph: tasks as boxes (name, κ), buffers as edges labelled
+/// "ξ / λ [ζ]".
+[[nodiscard]] std::string to_dot(const taskgraph::TaskGraph& graph);
+
+}  // namespace vrdf::io

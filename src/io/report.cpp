@@ -1,0 +1,76 @@
+#include "io/report.hpp"
+
+#include <sstream>
+
+#include "analysis/deadlock.hpp"
+#include "analysis/period.hpp"
+#include "io/table.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::io {
+
+std::string analysis_report(const dataflow::VrdfGraph& graph,
+                            const analysis::ThroughputConstraint& constraint,
+                            const analysis::ChainAnalysis& analysis) {
+  VRDF_REQUIRE(analysis.admissible, "cannot report an inadmissible analysis");
+  std::ostringstream os;
+
+  os << "# Buffer-capacity analysis report\n\n";
+  os << "Throughput constraint: actor `"
+     << graph.actor(constraint.actor).name << "` strictly periodic, period "
+     << constraint.period.seconds().to_string() << " s ("
+     << constraint.period.seconds().reciprocal().to_double() << " Hz), "
+     << (analysis.side == analysis::ConstraintSide::Sink ? "sink" : "source")
+     << "-constrained chain of " << analysis.actors_in_order.size()
+     << " tasks.\n\n";
+
+  os << "## Pacing budget (max admissible response times)\n\n";
+  Table pacing({"task", "rho (s)", "phi (s)", "slack"});
+  for (std::size_t i = 0; i < analysis.actors_in_order.size(); ++i) {
+    const dataflow::Actor& actor = graph.actor(analysis.actors_in_order[i]);
+    const Duration slack = analysis.pacing[i] - actor.response_time;
+    pacing.add_row({actor.name, actor.response_time.seconds().to_string(),
+                    analysis.pacing[i].seconds().to_string(),
+                    slack.is_zero() ? "tight" : slack.seconds().to_string()});
+  }
+  os << pacing.to_string() << '\n';
+
+  os << "## Buffer capacities\n\n";
+  Table caps({"buffer", "pi / gamma", "capacity", "installed",
+              "raw bound x", "deadlock-free min"});
+  bool mismatch = false;
+  for (const analysis::PairAnalysis& pair : analysis.pairs) {
+    const dataflow::Edge& data = graph.edge(pair.buffer.data);
+    const std::int64_t installed = graph.edge(pair.buffer.space).initial_tokens;
+    mismatch = mismatch || installed != pair.capacity;
+    caps.add_row(
+        {graph.actor(pair.producer).name + "->" +
+             graph.actor(pair.consumer).name,
+         data.production.to_string() + " / " + data.consumption.to_string(),
+         std::to_string(pair.capacity),
+         std::to_string(installed) + (installed == pair.capacity ? "" : " (!)"),
+         pair.raw_tokens.to_string(),
+         std::to_string(analysis::min_deadlock_free_pair_capacity(
+             data.production, data.consumption))});
+  }
+  os << caps.to_string() << '\n';
+  os << "Total: " << analysis.total_capacity << " containers";
+  if (mismatch) {
+    os << " — WARNING: installed capacities differ from the analysis";
+  }
+  os << ".\n\n";
+
+  const analysis::MinPeriodResult headroom =
+      analysis::min_admissible_period(graph, constraint.actor);
+  if (headroom.ok) {
+    os << "## Rate headroom\n\n"
+       << "Fastest admissible period with the installed capacities: "
+       << headroom.min_period.seconds().to_string() << " s (binding: "
+       << headroom.binding_constraint << "; exact feasibility infimum "
+       << headroom.infimum_period.seconds().to_string() << " s, "
+       << (headroom.infimum_attained ? "attained" : "open") << ").\n";
+  }
+  return os.str();
+}
+
+}  // namespace vrdf::io

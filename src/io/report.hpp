@@ -1,0 +1,23 @@
+// Markdown analysis report: everything the library can say about a sized
+// chain in one human-readable document (model summary, pacing budget,
+// capacity table with deadlock minima, rate headroom).  Used by
+// `vrdf_sizer --report=FILE` and handy as an artefact for design reviews.
+#pragma once
+
+#include <string>
+
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::io {
+
+/// Renders a full report for an *admissible* analysis of `graph`.
+/// `graph` should already carry the computed capacities (the report reads
+/// δ(space) as the installed value and flags mismatches with the
+/// analysis).  Throws ContractError when the analysis is inadmissible.
+[[nodiscard]] std::string analysis_report(
+    const dataflow::VrdfGraph& graph,
+    const analysis::ThroughputConstraint& constraint,
+    const analysis::ChainAnalysis& analysis);
+
+}  // namespace vrdf::io

@@ -1,0 +1,197 @@
+#include "io/text_format.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace vrdf::io {
+
+namespace {
+
+using dataflow::RateSet;
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& message) {
+  throw ModelError("line " + std::to_string(line_no) + ": " + message);
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::string rate_set_to_text(const RateSet& set) { return set.to_string(); }
+
+RateSet parse_rate_set(const std::string& text, std::size_t line_no) {
+  if (text.size() < 3) {
+    parse_error(line_no, "malformed rate set '" + text + "'");
+  }
+  const char open = text.front();
+  const char close = text.back();
+  const std::string body = text.substr(1, text.size() - 2);
+  std::vector<std::int64_t> values;
+  std::istringstream is(body);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    try {
+      values.push_back(std::stoll(item));
+    } catch (const std::exception&) {
+      parse_error(line_no, "malformed rate value '" + item + "'");
+    }
+  }
+  if (open == '{' && close == '}') {
+    if (values.empty()) {
+      parse_error(line_no, "empty rate set");
+    }
+    return RateSet::of(values);
+  }
+  if (open == '[' && close == ']') {
+    if (values.size() != 2) {
+      parse_error(line_no, "an interval needs exactly two bounds");
+    }
+    return RateSet::interval(values[0], values[1]);
+  }
+  parse_error(line_no, "rate sets are '{...}' or '[lo,hi]'");
+}
+
+/// "key=value" accessor; returns empty when the token has another key.
+std::optional<std::string> key_value(const std::string& token,
+                                     const std::string& key) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) == 0) {
+    return token.substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string write_chain(
+    const dataflow::VrdfGraph& graph,
+    const std::optional<analysis::ThroughputConstraint>& constraint) {
+  for (const dataflow::EdgeId e : graph.edges()) {
+    VRDF_REQUIRE(graph.edge(e).paired.is_valid(),
+                 "write_chain only serializes buffer-paired graphs");
+  }
+  std::ostringstream os;
+  os << "vrdf-chain v1\n";
+  for (const dataflow::ActorId a : graph.actors()) {
+    const dataflow::Actor& actor = graph.actor(a);
+    os << "actor " << actor.name
+       << " rho=" << actor.response_time.seconds().to_string() << '\n';
+  }
+  for (const dataflow::BufferEdges& b : graph.buffers()) {
+    const dataflow::Edge& data = graph.edge(b.data);
+    const dataflow::Edge& space = graph.edge(b.space);
+    os << "buffer " << graph.actor(data.source).name << " -> "
+       << graph.actor(data.target).name
+       << " pi=" << rate_set_to_text(data.production)
+       << " gamma=" << rate_set_to_text(data.consumption);
+    if (space.initial_tokens != 0) {
+      os << " capacity=" << space.initial_tokens;
+    }
+    os << '\n';
+  }
+  if (constraint.has_value()) {
+    os << "constraint " << graph.actor(constraint->actor).name
+       << " period=" << constraint->period.seconds().to_string() << '\n';
+  }
+  return os.str();
+}
+
+ChainDocument read_chain(const std::string& text) {
+  ChainDocument doc;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    if (!header_seen) {
+      if (tokens.size() != 2 || tokens[0] != "vrdf-chain" || tokens[1] != "v1") {
+        parse_error(line_no, "expected header 'vrdf-chain v1'");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (tokens[0] == "actor") {
+      if (tokens.size() != 3) {
+        parse_error(line_no, "expected 'actor <name> rho=<seconds>'");
+      }
+      const auto rho = key_value(tokens[2], "rho");
+      if (!rho.has_value()) {
+        parse_error(line_no, "missing rho=");
+      }
+      (void)doc.graph.add_actor(tokens[1],
+                                Duration(Rational::from_string(*rho)));
+    } else if (tokens[0] == "buffer") {
+      if (tokens.size() < 6 || tokens[2] != "->") {
+        parse_error(line_no,
+                    "expected 'buffer <p> -> <c> pi=<set> gamma=<set> "
+                    "[capacity=<n>]'");
+      }
+      const auto producer = doc.graph.find_actor(tokens[1]);
+      const auto consumer = doc.graph.find_actor(tokens[3]);
+      if (!producer.has_value() || !consumer.has_value()) {
+        parse_error(line_no, "buffer references an unknown actor");
+      }
+      std::optional<RateSet> pi;
+      std::optional<RateSet> gamma;
+      std::int64_t capacity = 0;
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        if (const auto v = key_value(tokens[i], "pi")) {
+          pi = parse_rate_set(*v, line_no);
+        } else if (const auto g = key_value(tokens[i], "gamma")) {
+          gamma = parse_rate_set(*g, line_no);
+        } else if (const auto c = key_value(tokens[i], "capacity")) {
+          try {
+            capacity = std::stoll(*c);
+          } catch (const std::exception&) {
+            parse_error(line_no, "malformed capacity '" + *c + "'");
+          }
+        } else {
+          parse_error(line_no, "unknown attribute '" + tokens[i] + "'");
+        }
+      }
+      if (!pi.has_value() || !gamma.has_value()) {
+        parse_error(line_no, "buffer needs pi= and gamma=");
+      }
+      (void)doc.graph.add_buffer(*producer, *consumer, *pi, *gamma, capacity);
+    } else if (tokens[0] == "constraint") {
+      if (tokens.size() != 3) {
+        parse_error(line_no, "expected 'constraint <actor> period=<seconds>'");
+      }
+      const auto actor = doc.graph.find_actor(tokens[1]);
+      if (!actor.has_value()) {
+        parse_error(line_no, "constraint references an unknown actor");
+      }
+      const auto period = key_value(tokens[2], "period");
+      if (!period.has_value()) {
+        parse_error(line_no, "missing period=");
+      }
+      doc.constraint = analysis::ThroughputConstraint{
+          *actor, Duration(Rational::from_string(*period))};
+    } else {
+      parse_error(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!header_seen) {
+    throw ModelError("empty document: expected header 'vrdf-chain v1'");
+  }
+  return doc;
+}
+
+}  // namespace vrdf::io

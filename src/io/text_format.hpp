@@ -1,0 +1,39 @@
+// Plain-text serialization of VRDF chain models.
+//
+// A deliberately small line-oriented format so that models can be kept in
+// version control, diffed, and loaded by the example binaries without an
+// external parser dependency:
+//
+//   # comment
+//   vrdf-chain v1
+//   actor <name> rho=<rational seconds>
+//   buffer <producer> -> <consumer> pi=<rateset> gamma=<rateset> [capacity=<n>]
+//   constraint <actor> period=<rational seconds>
+//
+// Rate sets are "{a,b,c}" or "[lo,hi]"; rationals are "p", "p/q" or simple
+// decimals ("51.2").
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::io {
+
+struct ChainDocument {
+  dataflow::VrdfGraph graph;
+  std::optional<analysis::ThroughputConstraint> constraint;
+};
+
+/// Serializes a chain model (buffers only; bare edges are rejected).
+[[nodiscard]] std::string write_chain(
+    const dataflow::VrdfGraph& graph,
+    const std::optional<analysis::ThroughputConstraint>& constraint);
+
+/// Parses the format above; throws ModelError with a line number on
+/// malformed input.
+[[nodiscard]] ChainDocument read_chain(const std::string& text);
+
+}  // namespace vrdf::io

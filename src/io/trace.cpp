@@ -1,0 +1,164 @@
+#include "io/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vrdf::io {
+
+namespace {
+
+std::string edge_label(const dataflow::VrdfGraph& graph, dataflow::EdgeId e) {
+  const dataflow::Edge& edge = graph.edge(e);
+  // A space edge is the half of a buffer pair that was added second; label
+  // it with the *buffer's* data direction so both halves of one buffer
+  // line up in the trace.
+  if (edge.paired.is_valid() && edge.paired.value() < e.value()) {
+    const dataflow::Edge& data = graph.edge(edge.paired);
+    return graph.actor(data.source).name + "->" +
+           graph.actor(data.target).name + "/space";
+  }
+  return graph.actor(edge.source).name + "->" + graph.actor(edge.target).name;
+}
+
+/// Merged (time, token-count) steps for one edge.
+std::vector<std::pair<TimePoint, std::int64_t>> occupancy_steps(
+    const sim::Simulator& sim, const dataflow::VrdfGraph& graph,
+    dataflow::EdgeId e) {
+  const auto& productions = sim.production_events(e);
+  const auto& consumptions = sim.consumption_events(e);
+  std::vector<std::pair<TimePoint, std::int64_t>> steps;
+  std::int64_t tokens = graph.edge(e).initial_tokens;
+  steps.emplace_back(TimePoint(), tokens);
+  std::size_t pi = 0;
+  std::size_t ci = 0;
+  while (pi < productions.size() || ci < consumptions.size()) {
+    const bool take_production =
+        ci >= consumptions.size() ||
+        (pi < productions.size() &&
+         productions[pi].time <= consumptions[ci].time);
+    TimePoint t;
+    if (take_production) {
+      t = productions[pi].time;
+      tokens += productions[pi].count;
+      ++pi;
+    } else {
+      t = consumptions[ci].time;
+      tokens -= consumptions[ci].count;
+      ++ci;
+    }
+    if (!steps.empty() && steps.back().first == t) {
+      steps.back().second = tokens;  // coalesce simultaneous changes
+    } else {
+      steps.emplace_back(t, tokens);
+    }
+  }
+  return steps;
+}
+
+std::int64_t to_nanoseconds(const TimePoint& t) {
+  // Floor to nanoseconds; see header note.
+  return (t.seconds() * Rational(1'000'000'000)).floor();
+}
+
+std::string to_binary(std::int64_t value) {
+  VRDF_REQUIRE(value >= 0, "token counts are non-negative");
+  if (value == 0) {
+    return "0";
+  }
+  std::string bits;
+  for (std::int64_t v = value; v > 0; v >>= 1) {
+    bits.push_back((v & 1) != 0 ? '1' : '0');
+  }
+  std::reverse(bits.begin(), bits.end());
+  return bits;
+}
+
+std::string sanitize(std::string label) {
+  // "a->b/space" becomes "a_to_b_space".
+  std::string out;
+  for (std::size_t i = 0; i < label.size(); ++i) {
+    if (label[i] == '-' && i + 1 < label.size() && label[i + 1] == '>') {
+      out += "_to_";
+      ++i;
+    } else if (label[i] == '/' || label[i] == ' ' || label[i] == '-' ||
+               label[i] == '>') {
+      out += '_';
+    } else {
+      out += label[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string firings_to_csv(const sim::Simulator& sim,
+                           const dataflow::VrdfGraph& graph,
+                           const std::vector<dataflow::ActorId>& actors) {
+  std::ostringstream os;
+  os << "actor,firing,start_s,finish_s\n";
+  for (const dataflow::ActorId a : actors) {
+    for (const sim::FiringRecord& r : sim.firings(a)) {
+      os << graph.actor(a).name << ',' << r.index << ','
+         << r.start.seconds().to_string() << ','
+         << r.finish.seconds().to_string() << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string occupancy_to_csv(const sim::Simulator& sim,
+                             const dataflow::VrdfGraph& graph,
+                             const std::vector<dataflow::EdgeId>& edges) {
+  std::ostringstream os;
+  os << "time_s,edge,tokens\n";
+  for (const dataflow::EdgeId e : edges) {
+    const std::string label = edge_label(graph, e);
+    for (const auto& [time, tokens] : occupancy_steps(sim, graph, e)) {
+      os << time.seconds().to_string() << ',' << label << ',' << tokens << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string occupancy_to_vcd(const sim::Simulator& sim,
+                             const dataflow::VrdfGraph& graph,
+                             const std::vector<dataflow::EdgeId>& edges) {
+  VRDF_REQUIRE(!edges.empty(), "VCD export needs at least one edge");
+  VRDF_REQUIRE(edges.size() < 94, "VCD export supports at most 93 signals");
+  std::ostringstream os;
+  os << "$timescale 1ns $end\n$scope module vrdf $end\n";
+  std::vector<char> ids;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const char id = static_cast<char>('!' + i);
+    ids.push_back(id);
+    os << "$var integer 64 " << id << ' '
+       << sanitize(edge_label(graph, edges[i])) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  // Merge all edges' steps into one global timeline.
+  std::map<std::int64_t, std::vector<std::pair<char, std::int64_t>>> timeline;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (const auto& [time, tokens] : occupancy_steps(sim, graph, edges[i])) {
+      timeline[to_nanoseconds(time)].emplace_back(ids[i], tokens);
+    }
+  }
+  for (const auto& [ns, changes] : timeline) {
+    os << '#' << ns << '\n';
+    // Simultaneous changes to the same signal: the last one wins.
+    std::map<char, std::int64_t> final_values;
+    for (const auto& [id, tokens] : changes) {
+      final_values[id] = tokens;
+    }
+    for (const auto& [id, tokens] : final_values) {
+      os << 'b' << to_binary(tokens) << ' ' << id << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vrdf::io

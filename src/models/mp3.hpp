@@ -1,0 +1,58 @@
+// The Sec 5 case study: MP3 playback of a variable-bit-rate stream.
+//
+//   vBR --2048/[0,960]--> vMP3 --1152/480--> vSRC --441/1--> vDAC
+//
+// vBR reads 2048-byte blocks from a compact disc; vMP3 decodes one frame
+// per firing, consuming n ∈ [0, 960] bytes (48 kHz, up to 320 kbit/s →
+// at most 960 bytes per 1152-sample frame) and producing 1152 samples;
+// vSRC converts 48 kHz → 44.1 kHz (480 in, 441 out); vDAC consumes one
+// sample per tick and must run strictly periodically at 44.1 kHz.
+//
+// The paper derives maximal admissible response times
+//   ρ(vBR) = 51.2 ms, ρ(vMP3) = 24 ms, ρ(vSRC) = 10 ms, ρ(vDAC) = 1/44100 s
+// and reports capacities d1 = 6015, d2 = 3263, d3 = 882 for the VRDF
+// analysis versus d1 = 5888, d2 = 3072, d3 = 882 for the traditional
+// technique with n fixed to 960.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+#include "taskgraph/task_graph.hpp"
+
+namespace vrdf::models {
+
+struct Mp3Playback {
+  dataflow::VrdfGraph graph;
+  dataflow::ActorId br;    // vBR: block reader
+  dataflow::ActorId mp3;   // vMP3: decoder (variable consumption)
+  dataflow::ActorId src;   // vSRC: 48 kHz → 44.1 kHz sample-rate converter
+  dataflow::ActorId dac;   // vDAC: throughput-constrained sink
+  dataflow::BufferEdges b1;  // vBR → vMP3 (capacity d1)
+  dataflow::BufferEdges b2;  // vMP3 → vSRC (capacity d2)
+  dataflow::BufferEdges b3;  // vSRC → vDAC (capacity d3)
+  analysis::ThroughputConstraint constraint;  // vDAC at 44.1 kHz
+};
+
+/// The VRDF model of Fig 5 with the paper's response times.
+[[nodiscard]] Mp3Playback make_mp3_playback();
+
+/// The same application as a task graph (Sec 3.1 view).
+struct Mp3TaskGraph {
+  taskgraph::TaskGraph graph;
+  taskgraph::TaskId br, mp3, src, dac;
+  taskgraph::BufferId b1, b2, b3;
+};
+[[nodiscard]] Mp3TaskGraph make_mp3_task_graph();
+
+/// Published reference values (Sec 5).
+struct Mp3PaperNumbers {
+  static constexpr std::array<std::int64_t, 3> kVrdfCapacities{6015, 3263, 882};
+  static constexpr std::array<std::int64_t, 3> kTraditionalCapacities{5888, 3072,
+                                                                      882};
+  static constexpr std::int64_t kMaxBytesPerFrame = 960;
+};
+
+}  // namespace vrdf::models

@@ -1,0 +1,164 @@
+#include "models/synthetic.hpp"
+
+#include <random>
+#include <string>
+
+#include "analysis/pacing.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::models {
+
+using analysis::ThroughputConstraint;
+using dataflow::ActorId;
+using dataflow::RateSet;
+using dataflow::VrdfGraph;
+
+std::optional<VrdfGraph> with_scaled_response_times(
+    const VrdfGraph& graph, const ThroughputConstraint& constraint,
+    Rational fraction) {
+  VRDF_REQUIRE(fraction.is_positive() && fraction <= Rational(1),
+               "response fraction must be in (0, 1]");
+  const analysis::PacingResult pacing =
+      analysis::compute_pacing(graph, constraint);
+  if (!pacing.ok) {
+    return std::nullopt;
+  }
+  // φ per actor id (pacing is reported in chain order).
+  std::vector<Duration> phi(graph.actor_count());
+  for (std::size_t i = 0; i < pacing.actors_in_order.size(); ++i) {
+    phi[pacing.actors_in_order[i].index()] = pacing.pacing[i];
+  }
+  VrdfGraph out;
+  for (const ActorId a : graph.actors()) {
+    (void)out.add_actor(graph.actor(a).name, phi[a.index()] * fraction);
+  }
+  for (const dataflow::BufferEdges& b : graph.buffers()) {
+    const dataflow::Edge& data = graph.edge(b.data);
+    const dataflow::Edge& space = graph.edge(b.space);
+    (void)out.add_buffer(data.source, data.target, data.production,
+                         data.consumption, space.initial_tokens);
+  }
+  return out;
+}
+
+SyntheticChain make_random_chain(const RandomChainSpec& spec) {
+  VRDF_REQUIRE(spec.length >= 2, "a chain needs at least two actors");
+  VRDF_REQUIRE(spec.max_quantum >= 1, "max quantum must be positive");
+  VRDF_REQUIRE(spec.variable_percent >= 0 && spec.variable_percent <= 100,
+               "variable_percent must be a percentage");
+  VRDF_REQUIRE(spec.zero_percent >= 0 && spec.zero_percent <= 100,
+               "zero_percent must be a percentage");
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<std::int64_t> quantum(1, spec.max_quantum);
+  std::uniform_int_distribution<int> percent(0, 99);
+
+  // A set on the side that must stay positive (the rate-determining side).
+  const auto positive_set = [&]() -> RateSet {
+    if (percent(rng) < spec.variable_percent) {
+      std::int64_t a = quantum(rng);
+      std::int64_t b = quantum(rng);
+      if (a > b) {
+        std::swap(a, b);
+      }
+      if (a == b) {
+        return RateSet::singleton(a);
+      }
+      return RateSet::interval(a, b);
+    }
+    return RateSet::singleton(quantum(rng));
+  };
+  // A set on the tolerant side, which may include zero.
+  const auto tolerant_set = [&]() -> RateSet {
+    if (percent(rng) < spec.variable_percent) {
+      const std::int64_t hi = quantum(rng);
+      const std::int64_t lo =
+          percent(rng) < spec.zero_percent
+              ? 0
+              : std::uniform_int_distribution<std::int64_t>(1, hi)(rng);
+      if (lo == hi) {
+        return RateSet::singleton(hi);
+      }
+      return RateSet::interval(lo, hi);
+    }
+    return RateSet::singleton(quantum(rng));
+  };
+
+  VrdfGraph bare;
+  std::vector<ActorId> actors;
+  actors.reserve(spec.length);
+  const Duration dummy = seconds(Rational(1));
+  for (std::size_t i = 0; i < spec.length; ++i) {
+    actors.push_back(bare.add_actor("t" + std::to_string(i), dummy));
+  }
+  for (std::size_t i = 0; i + 1 < spec.length; ++i) {
+    // Sink-constrained: production must stay positive, consumption may
+    // contain zero.  Source-constrained: mirrored.
+    const RateSet production =
+        spec.source_constrained ? tolerant_set() : positive_set();
+    const RateSet consumption =
+        spec.source_constrained ? positive_set() : tolerant_set();
+    (void)bare.add_buffer(actors[i], actors[i + 1], production, consumption);
+  }
+
+  const ActorId constrained =
+      spec.source_constrained ? actors.front() : actors.back();
+  const ThroughputConstraint constraint{constrained, spec.period};
+  auto scaled =
+      with_scaled_response_times(bare, constraint, spec.response_fraction);
+  VRDF_REQUIRE(scaled.has_value(),
+               "generated chain must be admissible by construction");
+  return SyntheticChain{std::move(*scaled), constraint};
+}
+
+SyntheticChain make_video_pipeline() {
+  VrdfGraph bare;
+  const Duration dummy = seconds(Rational(1));
+  const ActorId reader = bare.add_actor("reader", dummy);
+  const ActorId demux = bare.add_actor("demux", dummy);
+  const ActorId vld = bare.add_actor("vld", dummy);
+  const ActorId idct = bare.add_actor("idct", dummy);
+  const ActorId display = bare.add_actor("display", dummy);
+
+  // reader: 64-byte chunks; demux: variable-size payloads; vld: variable
+  // number of coded macroblock bytes per row, possibly none (skipped row);
+  // idct: 4 blocks per firing; display: one frame of 6 block-groups.
+  (void)bare.add_buffer(reader, demux, RateSet::singleton(64),
+                        RateSet::interval(8, 32));
+  (void)bare.add_buffer(demux, vld, RateSet::singleton(16),
+                        RateSet::interval(0, 24));
+  (void)bare.add_buffer(vld, idct, RateSet::interval(1, 6),
+                        RateSet::singleton(4));
+  (void)bare.add_buffer(idct, display, RateSet::singleton(1),
+                        RateSet::singleton(6));
+
+  // 25 frames per second.
+  const ThroughputConstraint constraint{display, milliseconds(Rational(40))};
+  auto scaled = with_scaled_response_times(bare, constraint, Rational(1));
+  VRDF_REQUIRE(scaled.has_value(), "video pipeline must be admissible");
+  return SyntheticChain{std::move(*scaled), constraint};
+}
+
+SyntheticChain make_sensor_acquisition() {
+  VrdfGraph bare;
+  const Duration dummy = seconds(Rational(1));
+  const ActorId adc = bare.add_actor("adc", dummy);
+  const ActorId filter = bare.add_actor("filter", dummy);
+  const ActorId compressor = bare.add_actor("compressor", dummy);
+  const ActorId writer = bare.add_actor("writer", dummy);
+
+  (void)bare.add_buffer(adc, filter, RateSet::singleton(1),
+                        RateSet::singleton(64));
+  (void)bare.add_buffer(filter, compressor, RateSet::singleton(64),
+                        RateSet::singleton(64));
+  // The compressor may emit anything from nothing to a full block.
+  (void)bare.add_buffer(compressor, writer, RateSet::interval(0, 64),
+                        RateSet::singleton(512));
+
+  // The ADC samples at 48 kHz and is the constrained *source* (Sec 4.4).
+  const ThroughputConstraint constraint{adc, period_of_hz(Rational(48000))};
+  auto scaled = with_scaled_response_times(bare, constraint, Rational(1));
+  VRDF_REQUIRE(scaled.has_value(), "acquisition chain must be admissible");
+  return SyntheticChain{std::move(*scaled), constraint};
+}
+
+}  // namespace vrdf::models

@@ -1,0 +1,66 @@
+// Synthetic model generators for tests, property sweeps and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::models {
+
+/// A generated chain together with its throughput constraint.
+struct SyntheticChain {
+  dataflow::VrdfGraph graph;
+  analysis::ThroughputConstraint constraint;
+};
+
+struct RandomChainSpec {
+  std::uint64_t seed = 1;
+  /// Number of actors (>= 2).
+  std::size_t length = 4;
+  /// Quanta are drawn from [1, max_quantum].
+  std::int64_t max_quantum = 16;
+  /// Probability (percent, 0..100) that a rate set is variable (an
+  /// interval or small explicit set) instead of a singleton.
+  int variable_percent = 50;
+  /// Probability (percent) that a variable consumption set includes zero
+  /// (sink-constrained chains tolerate zero consumption quanta).
+  int zero_percent = 20;
+  /// Period of the constrained sink.
+  Duration period = milliseconds(Rational(1));
+  /// Response times are set to this fraction of the maximal admissible
+  /// value φ(v) (numerator/denominator <= 1); 1/1 reproduces the
+  /// paper's tight MP3 setting.
+  Rational response_fraction = Rational(1);
+  /// Put the constraint on the source instead of the sink (Sec 4.4);
+  /// zero quanta then move to the production side.
+  bool source_constrained = false;
+};
+
+/// A random, admissible, sink- or source-constrained chain: rates are
+/// drawn per spec and response times are derived from pacing so that
+/// compute_buffer_capacities always succeeds.
+[[nodiscard]] SyntheticChain make_random_chain(const RandomChainSpec& spec);
+
+/// A 5-stage variable-rate video decoding pipeline (sink-constrained):
+///   reader -> demux -> vld -> idct -> display
+/// with a variable-length-decoder stage whose consumption varies per
+/// macroblock row, and a 25 Hz display.
+[[nodiscard]] SyntheticChain make_video_pipeline();
+
+/// A source-constrained acquisition chain (Sec 4.4):
+///   adc -> filter -> compressor -> writer
+/// where the ADC is strictly periodic and the compressor has a variable
+/// production quantum that may be zero (nothing to emit for a block).
+[[nodiscard]] SyntheticChain make_sensor_acquisition();
+
+/// A copy of `graph` whose response times are replaced by
+/// fraction · φ(v) for the given constraint — the generator used to
+/// produce admissible test instances from bare topologies.  Returns
+/// nullopt when pacing fails (not a chain, interior constraint, ...).
+[[nodiscard]] std::optional<dataflow::VrdfGraph> with_scaled_response_times(
+    const dataflow::VrdfGraph& graph,
+    const analysis::ThroughputConstraint& constraint, Rational fraction);
+
+}  // namespace vrdf::models

@@ -1,0 +1,50 @@
+// Run-time arbiters with rate-independent worst-case response times.
+//
+// The paper (Sec 3.1, citing [15]) assumes every shared resource has a
+// run-time arbiter that guarantees a worst-case response time κ(w) given
+// the task's worst-case execution time and the scheduler settings — a
+// guarantee that must hold regardless of how often the task is enabled.
+// Time-division multiplex (TDM) and round-robin are the named examples;
+// this module computes κ for both, plus the generic latency-rate server
+// abstraction that covers them.
+#pragma once
+
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace vrdf::sched {
+
+/// A latency-rate server: a task receives service at least at `rate`
+/// (fraction of the processor, 0 < rate <= 1) after an initial latency.
+/// κ(C) = latency + C/rate.
+struct LatencyRateServer {
+  Duration latency;
+  Rational rate;
+
+  [[nodiscard]] Duration response_time(Duration wcet) const;
+};
+
+/// TDM wheel allocation: the task owns `slot` contiguous time out of every
+/// `period` of wheel time.
+struct TdmAllocation {
+  Duration slot;
+  Duration period;
+
+  /// Slot-granular bound: each chunk of `slot` service can be preceded by a
+  /// gap of (period - slot); κ = ceil(C/slot)·(period - slot) + C.
+  [[nodiscard]] Duration response_time(Duration wcet) const;
+
+  /// The latency-rate abstraction of this allocation
+  /// (latency = period - slot, rate = slot/period); its κ is
+  /// (period - slot) + C·period/slot, never smaller than response_time().
+  [[nodiscard]] LatencyRateServer as_latency_rate() const;
+};
+
+/// Run-to-completion round-robin among tasks with the given WCETs: a task's
+/// activation can wait for one full execution of every other task plus its
+/// own execution; κ_i = Σ_j wcet_j.
+[[nodiscard]] Duration round_robin_response_time(
+    const std::vector<Duration>& all_wcets, std::size_t task_index);
+
+}  // namespace vrdf::sched

@@ -1,0 +1,66 @@
+#include "sched/platform.hpp"
+
+#include "util/error.hpp"
+
+namespace vrdf::sched {
+
+std::size_t Platform::add_processor(std::string name, Duration wheel_period) {
+  VRDF_REQUIRE(!name.empty(), "processor name must be non-empty");
+  VRDF_REQUIRE(wheel_period.is_positive(), "wheel period must be positive");
+  for (const Processor& p : processors_) {
+    VRDF_REQUIRE(p.name != name, "processor name '" + name + "' already used");
+  }
+  processors_.push_back(Processor{std::move(name), wheel_period, Duration()});
+  return processors_.size() - 1;
+}
+
+void Platform::bind_task(const std::string& task, std::size_t processor,
+                         Duration slot, Duration wcet) {
+  VRDF_REQUIRE(processor < processors_.size(), "processor index out of range");
+  VRDF_REQUIRE(slot.is_positive(), "slot budget must be positive");
+  VRDF_REQUIRE(wcet.is_positive(), "WCET must be positive");
+  VRDF_REQUIRE(find_binding(task) == nullptr,
+               "task '" + task + "' is already bound");
+  Processor& proc = processors_[processor];
+  const Duration after = proc.allocated + slot;
+  VRDF_REQUIRE(after <= proc.wheel_period,
+               "TDM wheel of processor '" + proc.name +
+                   "' oversubscribed by binding task '" + task + "'");
+  proc.allocated = after;
+  bindings_.push_back(Binding{task, processor, slot, wcet});
+}
+
+const std::string& Platform::processor_name(std::size_t index) const {
+  VRDF_REQUIRE(index < processors_.size(), "processor index out of range");
+  return processors_[index].name;
+}
+
+Duration Platform::slack(std::size_t processor) const {
+  VRDF_REQUIRE(processor < processors_.size(), "processor index out of range");
+  return processors_[processor].wheel_period - processors_[processor].allocated;
+}
+
+Duration Platform::response_time(const std::string& task) const {
+  const Binding* binding = find_binding(task);
+  VRDF_REQUIRE(binding != nullptr, "task '" + task + "' is not bound");
+  const TdmAllocation tdm{binding->slot,
+                          processors_[binding->processor].wheel_period};
+  return tdm.response_time(binding->wcet);
+}
+
+Rational Platform::utilization(std::size_t processor) const {
+  VRDF_REQUIRE(processor < processors_.size(), "processor index out of range");
+  return processors_[processor].allocated.seconds() /
+         processors_[processor].wheel_period.seconds();
+}
+
+const Platform::Binding* Platform::find_binding(const std::string& task) const {
+  for (const Binding& b : bindings_) {
+    if (b.task == task) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace vrdf::sched

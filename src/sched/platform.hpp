@@ -1,0 +1,70 @@
+// Multiprocessor platform with TDM arbitration — the deployment substrate
+// the paper assumes (Sec 3.1: "all shared resources have run-time
+// arbiters" whose worst-case response time is independent of activation
+// rates, per [15]).
+//
+// A Platform is a set of processors, each running a TDM wheel.  Tasks are
+// bound to a processor with a slot budget and a worst-case execution
+// time; the platform derives each task's worst-case response time
+// κ = ceil(C/slot)·(wheel − slot) + C, which feeds the task graph and
+// from there the buffer-capacity analysis.  Validation guarantees the
+// wheel is not oversubscribed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/arbiter.hpp"
+#include "util/time.hpp"
+
+namespace vrdf::sched {
+
+class Platform {
+public:
+  struct Binding {
+    std::string task;
+    std::size_t processor = 0;
+    Duration slot;
+    Duration wcet;
+  };
+
+  /// Adds a processor with the given TDM wheel period; returns its index.
+  std::size_t add_processor(std::string name, Duration wheel_period);
+
+  /// Binds a task to a processor with a slot budget and WCET.  Throws when
+  /// the processor's wheel would be oversubscribed (Σ slots > period), the
+  /// slot is not positive, or the task name is already bound.
+  void bind_task(const std::string& task, std::size_t processor, Duration slot,
+                 Duration wcet);
+
+  [[nodiscard]] std::size_t processor_count() const { return processors_.size(); }
+  [[nodiscard]] const std::string& processor_name(std::size_t index) const;
+
+  /// Remaining unallocated wheel time of a processor.
+  [[nodiscard]] Duration slack(std::size_t processor) const;
+
+  /// Worst-case response time of a bound task (slot-granular TDM bound).
+  [[nodiscard]] Duration response_time(const std::string& task) const;
+
+  /// All bindings in insertion order.
+  [[nodiscard]] const std::vector<Binding>& bindings() const { return bindings_; }
+
+  /// Utilization of a processor: Σ slots / wheel period.
+  [[nodiscard]] Rational utilization(std::size_t processor) const;
+
+private:
+  struct Processor {
+    std::string name;
+    Duration wheel_period;
+    Duration allocated;
+  };
+
+  [[nodiscard]] const Binding* find_binding(const std::string& task) const;
+
+  std::vector<Processor> processors_;
+  std::vector<Binding> bindings_;
+};
+
+}  // namespace vrdf::sched

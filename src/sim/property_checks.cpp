@@ -1,0 +1,66 @@
+#include "sim/property_checks.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace vrdf::sim {
+
+TemporalBehaviourReport check_monotonic_linear(
+    const dataflow::VrdfGraph& graph, dataflow::ActorId delayed_actor,
+    std::int64_t firing_index, Duration delay, TimePoint horizon,
+    const SimulatorConfigurer& configure, std::uint64_t default_seed) {
+  TemporalBehaviourReport report;
+
+  const auto run_once = [&](bool inject) {
+    auto sim = std::make_unique<Simulator>(graph);
+    if (configure) {
+      configure(*sim);
+    }
+    sim->set_default_sources(default_seed);
+    for (const dataflow::ActorId a : graph.actors()) {
+      sim->record_firings(a);
+    }
+    if (inject) {
+      sim->inject_release_delay(delayed_actor, firing_index, delay);
+    }
+    StopCondition stop;
+    stop.until_time = horizon;
+    (void)sim->run(stop);
+    return sim;
+  };
+
+  const auto baseline = run_once(false);
+  const auto delayed = run_once(true);
+
+  report.monotonic = true;
+  report.linear = true;
+  std::ostringstream detail;
+  for (const dataflow::ActorId a : graph.actors()) {
+    const auto& base = baseline->firings(a);
+    const auto& del = delayed->firings(a);
+    const std::size_t common = std::min(base.size(), del.size());
+    for (std::size_t k = 0; k < common; ++k) {
+      if (del[k].start < base[k].start) {
+        report.monotonic = false;
+        detail << "actor '" << graph.actor(a).name << "' firing " << k
+               << " started earlier under delay ("
+               << del[k].start.seconds().to_string() << " < "
+               << base[k].start.seconds().to_string() << "); ";
+      }
+      if (del[k].start - base[k].start > delay) {
+        report.linear = false;
+        detail << "actor '" << graph.actor(a).name << "' firing " << k
+               << " delayed by more than the injected delta ("
+               << (del[k].start - base[k].start).seconds().to_string() << " > "
+               << delay.seconds().to_string() << "); ";
+      }
+    }
+  }
+  report.detail = detail.str();
+  if (report.detail.empty()) {
+    report.detail = "all start times within [baseline, baseline + delta]";
+  }
+  return report;
+}
+
+}  // namespace vrdf::sim

@@ -1,0 +1,37 @@
+// Experimental validation of the model properties the correctness proof
+// rests on (Sec 3.2):
+//
+//  * Definition 1 (monotonic execution in the start times): delaying one
+//    firing can never make any other firing start *earlier*;
+//  * Definition 2 (linear execution in the start times): a delay of Δ on
+//    one firing delays every firing by at most Δ.
+//
+// These are theorems of the model, not of a particular run — the checkers
+// here falsify implementation bugs (a simulator whose semantics
+// accidentally violate them would invalidate every sufficiency result)
+// and serve as executable documentation.
+#pragma once
+
+#include <string>
+
+#include "dataflow/vrdf_graph.hpp"
+#include "sim/verify.hpp"
+
+namespace vrdf::sim {
+
+struct TemporalBehaviourReport {
+  bool monotonic = false;  // no firing started earlier than in the baseline
+  bool linear = false;     // no firing delayed by more than the injected Δ
+  std::string detail;
+};
+
+/// Runs the graph self-timed twice with identical quantum sequences — once
+/// as-is, once with `delay` injected before firing `firing_index` of
+/// `delayed_actor` — and compares every actor's start times over the
+/// common prefix of both runs (up to `horizon` time).
+[[nodiscard]] TemporalBehaviourReport check_monotonic_linear(
+    const dataflow::VrdfGraph& graph, dataflow::ActorId delayed_actor,
+    std::int64_t firing_index, Duration delay, TimePoint horizon,
+    const SimulatorConfigurer& configure = {}, std::uint64_t default_seed = 1);
+
+}  // namespace vrdf::sim

@@ -1,0 +1,502 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/checked_int.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::sim {
+
+using dataflow::ActorId;
+using dataflow::BufferEdges;
+using dataflow::Edge;
+using dataflow::EdgeId;
+
+Simulator::Simulator(const dataflow::VrdfGraph& graph) : graph_(graph) {
+  const std::size_t n_actors = graph.actor_count();
+  const std::size_t n_edges = graph.edge_count();
+  actors_.resize(n_actors);
+  edges_.resize(n_edges);
+  actor_metrics_.resize(n_actors);
+  firing_records_.resize(n_actors);
+  production_records_.resize(n_edges);
+  consumption_records_.resize(n_edges);
+  transfer_recording_.assign(n_edges, 0);
+  transfer_caps_.assign(n_edges, 0);
+  scheduled_wakeup_.resize(n_actors);
+
+  for (const EdgeId e : graph.edges()) {
+    edges_[e.index()].tokens = graph.edge(e).initial_tokens;
+    edges_[e.index()].max_tokens = edges_[e.index()].tokens;
+    edges_[e.index()].min_tokens = edges_[e.index()].tokens;
+  }
+
+  // Build ports.  Buffer pairs give each endpoint one port covering both
+  // half-edges; bare edges give one single-sided port per endpoint.
+  std::vector<char> edge_covered(n_edges, 0);
+  for (const BufferEdges& b : graph.buffers()) {
+    const Edge& data = graph.edge(b.data);
+    actors_[data.source.index()].ports.push_back(Port{b.space, b.data, nullptr});
+    actors_[data.target.index()].ports.push_back(Port{b.data, b.space, nullptr});
+    edge_covered[b.data.index()] = 1;
+    edge_covered[b.space.index()] = 1;
+  }
+  for (const EdgeId e : graph.edges()) {
+    if (edge_covered[e.index()] != 0) {
+      continue;
+    }
+    const Edge& edge = graph.edge(e);
+    actors_[edge.source.index()].ports.push_back(
+        Port{EdgeId::invalid(), e, nullptr});
+    actors_[edge.target.index()].ports.push_back(
+        Port{e, EdgeId::invalid(), nullptr});
+  }
+}
+
+void Simulator::set_actor_mode(ActorId actor, ActorMode mode) {
+  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
+               "actor id out of range");
+  if (mode.kind != ActorMode::Kind::SelfTimed) {
+    VRDF_REQUIRE(mode.period.is_positive(), "mode period must be positive");
+  }
+  actors_[actor.index()].mode = mode;
+  if (mode.kind == ActorMode::Kind::StrictlyPeriodic) {
+    push_event(Event{mode.offset, next_seq_++, Event::Kind::Wakeup, actor});
+  }
+}
+
+void Simulator::set_quantum_source(ActorId actor, EdgeId edge,
+                                   std::unique_ptr<QuantumSource> source) {
+  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
+               "actor id out of range");
+  VRDF_REQUIRE(source != nullptr, "quantum source must not be null");
+  const Edge& named = graph_.edge(edge);
+  // Normalize a space edge to its data edge: ports store buffer edges as
+  // (in, out) pairs, so matching either half works, but bare-edge matching
+  // needs the concrete edge.
+  for (Port& port : actors_[actor.index()].ports) {
+    if (port.in_edge == edge || port.out_edge == edge) {
+      port.source = std::move(source);
+      return;
+    }
+  }
+  std::ostringstream os;
+  os << "actor '" << graph_.actor(actor).name << "' has no port on edge "
+     << graph_.actor(named.source).name << " -> "
+     << graph_.actor(named.target).name;
+  throw ContractError(os.str());
+}
+
+void Simulator::set_default_sources(std::uint64_t seed) {
+  std::uint64_t salt = 0;
+  for (ActorState& state : actors_) {
+    for (Port& port : state.ports) {
+      ++salt;
+      if (port.source != nullptr) {
+        continue;
+      }
+      // The rate set governing this port: production set of the out edge
+      // (equals the consumption set of the in edge for buffer ports).
+      const dataflow::RateSet& set =
+          port.out_edge.is_valid() ? graph_.edge(port.out_edge).production
+                                   : graph_.edge(port.in_edge).consumption;
+      if (set.is_singleton()) {
+        port.source = constant_source(set.max());
+      } else {
+        port.source = uniform_random_source(set, seed * 0x9E3779B97F4A7C15ULL + salt);
+      }
+    }
+  }
+}
+
+void Simulator::inject_release_delay(ActorId actor, std::int64_t firing_index,
+                                     Duration delay) {
+  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
+               "actor id out of range");
+  VRDF_REQUIRE(firing_index >= 0, "firing index must be non-negative");
+  VRDF_REQUIRE(!delay.is_negative(), "release delay must be non-negative");
+  actors_[actor.index()].release_delays[firing_index] = delay;
+}
+
+void Simulator::set_response_time_jitter(ActorId actor, std::uint64_t seed,
+                                         Rational min_fraction) {
+  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
+               "actor id out of range");
+  VRDF_REQUIRE(min_fraction.is_positive() && min_fraction <= Rational(1),
+               "jitter fraction must be in (0, 1]");
+  ActorState& state = actors_[actor.index()];
+  state.jitter_enabled = true;
+  // splitmix-style seeding keeps streams independent across actors.
+  state.jitter_state = seed * 0x9E3779B97F4A7C15ULL + actor.value() + 1;
+  state.jitter_min_fraction = min_fraction;
+}
+
+void Simulator::record_firings(ActorId actor, std::size_t max_records) {
+  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
+               "actor id out of range");
+  actors_[actor.index()].record = true;
+  actors_[actor.index()].record_cap = max_records;
+}
+
+void Simulator::record_transfers(EdgeId edge, std::size_t max_records) {
+  VRDF_REQUIRE(edge.is_valid() && edge.index() < edges_.size(),
+               "edge id out of range");
+  transfer_recording_[edge.index()] = 1;
+  transfer_caps_[edge.index()] = max_records;
+}
+
+void Simulator::push_event(Event e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), [](const Event& a, const Event& b) {
+    // std::push_heap builds a max-heap; invert for min-heap semantics.
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  });
+}
+
+void Simulator::draw_quanta(ActorId actor) {
+  ActorState& state = actors_[actor.index()];
+  if (state.quanta_drawn) {
+    return;
+  }
+  state.pending_quanta.resize(state.ports.size());
+  for (std::size_t i = 0; i < state.ports.size(); ++i) {
+    Port& port = state.ports[i];
+    if (port.source == nullptr) {
+      std::ostringstream os;
+      os << "actor '" << graph_.actor(actor).name
+         << "' port " << i
+         << " has no quantum source; call set_quantum_source or "
+            "set_default_sources";
+      throw ContractError(os.str());
+    }
+    const std::int64_t q = port.source->next(state.started);
+    const dataflow::RateSet& set =
+        port.out_edge.is_valid() ? graph_.edge(port.out_edge).production
+                                 : graph_.edge(port.in_edge).consumption;
+    if (!set.contains(q)) {
+      std::ostringstream os;
+      os << "quantum source " << port.source->describe() << " of actor '"
+         << graph_.actor(actor).name << "' produced " << q
+         << " which is outside the rate set " << set.to_string();
+      throw ModelError(os.str());
+    }
+    state.pending_quanta[i] = q;
+  }
+  state.quanta_drawn = true;
+}
+
+bool Simulator::tokens_available(const ActorState& state) const {
+  for (std::size_t i = 0; i < state.ports.size(); ++i) {
+    const Port& port = state.ports[i];
+    if (port.in_edge.is_valid() &&
+        edges_[port.in_edge.index()].tokens < state.pending_quanta[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Simulator::add_tokens(EdgeId edge, std::int64_t count) {
+  EdgeMetrics& m = edges_[edge.index()];
+  m.tokens = checked_add(m.tokens, count);
+  m.produced_total = checked_add(m.produced_total, count);
+  m.max_tokens = std::max(m.max_tokens, m.tokens);
+  if (transfer_recording_[edge.index()] != 0 &&
+      production_records_[edge.index()].size() < transfer_caps_[edge.index()]) {
+    production_records_[edge.index()].push_back(
+        EdgeTransfer{m.produced_total, count, now_});
+  }
+}
+
+void Simulator::remove_tokens(EdgeId edge, std::int64_t count) {
+  EdgeMetrics& m = edges_[edge.index()];
+  m.tokens -= count;
+  VRDF_REQUIRE(m.tokens >= 0, "edge token count went negative (engine bug)");
+  m.consumed_total = checked_add(m.consumed_total, count);
+  m.min_tokens = std::min(m.min_tokens, m.tokens);
+  if (transfer_recording_[edge.index()] != 0 &&
+      consumption_records_[edge.index()].size() < transfer_caps_[edge.index()]) {
+    consumption_records_[edge.index()].push_back(
+        EdgeTransfer{m.consumed_total, count, now_});
+  }
+}
+
+void Simulator::start_firing(ActorId actor) {
+  ActorState& state = actors_[actor.index()];
+  ActorMetrics& metrics = actor_metrics_[actor.index()];
+
+  for (std::size_t i = 0; i < state.ports.size(); ++i) {
+    const Port& port = state.ports[i];
+    if (port.in_edge.is_valid() && state.pending_quanta[i] > 0) {
+      remove_tokens(port.in_edge, state.pending_quanta[i]);
+    }
+  }
+  state.active_quanta = state.pending_quanta;
+  state.active_start = now_;
+  state.quanta_drawn = false;
+  state.release_not_before.reset();
+  state.busy = true;
+
+  // Starvation bookkeeping for periodic actors.
+  if (state.mode.kind == ActorMode::Kind::StrictlyPeriodic) {
+    if (state.open_starvation.has_value()) {
+      starvations_[*state.open_starvation].actual_start = now_;
+      state.open_starvation.reset();
+    }
+    // Guarantee a wakeup at the next activation so a miss is noticed.
+    const TimePoint next_activation =
+        state.mode.offset + state.mode.period * Rational(state.started + 1);
+    push_event(Event{next_activation, next_seq_++, Event::Kind::Wakeup, actor});
+  }
+
+  ++state.started;
+  ++total_firings_;
+  state.last_start = now_;
+  if (!metrics.first_start.has_value()) {
+    metrics.first_start = now_;
+  }
+  metrics.last_start = now_;
+  ++metrics.firings_started;
+  if (state.mode.kind == ActorMode::Kind::RateLimited) {
+    // Lateness of firing k versus a periodic schedule anchored at the
+    // first start: start_k − (first + k·period).
+    const Duration lateness =
+        now_ - (*metrics.first_start +
+                state.mode.period * Rational(state.started - 1));
+    if (!metrics.max_lateness_vs_period.has_value() ||
+        lateness > *metrics.max_lateness_vs_period) {
+      metrics.max_lateness_vs_period = lateness;
+    }
+  }
+
+  Duration rho = graph_.actor(actor).response_time;
+  if (state.jitter_enabled) {
+    // splitmix64 step; map to a 1024-step grid over [min_fraction, 1]·ρ.
+    std::uint64_t z = (state.jitter_state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    const std::int64_t step = static_cast<std::int64_t>(z % 1025);
+    const Rational fraction =
+        state.jitter_min_fraction +
+        (Rational(1) - state.jitter_min_fraction) * Rational(step, 1024);
+    rho = rho * fraction;
+  }
+  state.active_finish = now_ + rho;
+  push_event(Event{now_ + rho, next_seq_++, Event::Kind::FiringFinish, actor});
+}
+
+void Simulator::finish_firing(ActorId actor) {
+  ActorState& state = actors_[actor.index()];
+  for (std::size_t i = 0; i < state.ports.size(); ++i) {
+    const Port& port = state.ports[i];
+    if (port.out_edge.is_valid() && state.active_quanta[i] > 0) {
+      add_tokens(port.out_edge, state.active_quanta[i]);
+    }
+  }
+  state.busy = false;
+  ++state.finished;
+  ++actor_metrics_[actor.index()].firings_finished;
+  if (state.record &&
+      firing_records_[actor.index()].size() < state.record_cap) {
+    firing_records_[actor.index()].push_back(
+        FiringRecord{actor, state.finished - 1, state.active_start, now_});
+  }
+}
+
+void Simulator::enabling_scan() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      const ActorId actor(static_cast<ActorId::underlying_type>(i));
+      ActorState& state = actors_[i];
+      if (state.busy) {
+        continue;
+      }
+      draw_quanta(actor);
+      const bool have_tokens = tokens_available(state);
+
+      // Mode gating.
+      if (state.mode.kind == ActorMode::Kind::StrictlyPeriodic) {
+        const TimePoint scheduled =
+            state.mode.offset + state.mode.period * Rational(state.started);
+        if (now_ < scheduled) {
+          continue;  // wakeup already scheduled at activation time
+        }
+        if (!have_tokens) {
+          if (!state.open_starvation.has_value()) {
+            state.open_starvation = starvations_.size();
+            starvations_.push_back(
+                Starvation{actor, state.started, scheduled, std::nullopt});
+            ++actor_metrics_[i].starvation_count;
+          }
+          continue;
+        }
+        if (now_ > scheduled && !state.open_starvation.has_value()) {
+          // Enabled only now although the activation was earlier (e.g. the
+          // previous firing finished late); count it as a late start too.
+          state.open_starvation = starvations_.size();
+          starvations_.push_back(
+              Starvation{actor, state.started, scheduled, std::nullopt});
+          ++actor_metrics_[i].starvation_count;
+        }
+      } else {
+        if (!have_tokens) {
+          continue;
+        }
+        if (state.mode.kind == ActorMode::Kind::RateLimited &&
+            state.last_start.has_value()) {
+          const TimePoint earliest = *state.last_start + state.mode.period;
+          if (now_ < earliest) {
+            if (!scheduled_wakeup_[i].has_value() || *scheduled_wakeup_[i] != earliest) {
+              scheduled_wakeup_[i] = earliest;
+              push_event(Event{earliest, next_seq_++, Event::Kind::Wakeup, actor});
+            }
+            continue;
+          }
+        }
+      }
+
+      // Injected release delays (property checks).
+      const auto delay_it = state.release_delays.find(state.started);
+      if (delay_it != state.release_delays.end() &&
+          delay_it->second.is_positive()) {
+        if (!state.release_not_before.has_value()) {
+          state.release_not_before = now_ + delay_it->second;
+          push_event(Event{*state.release_not_before, next_seq_++,
+                           Event::Kind::Wakeup, actor});
+          continue;
+        }
+        if (now_ < *state.release_not_before) {
+          continue;
+        }
+      }
+
+      start_firing(actor);
+      progress = true;
+    }
+  }
+}
+
+RunResult Simulator::run(const StopCondition& stop) {
+  RunResult result;
+  const auto target_reached = [&]() {
+    if (!stop.firing_target.has_value()) {
+      return false;
+    }
+    const auto& t = *stop.firing_target;
+    return actors_[t.actor.index()].finished >= t.count;
+  };
+
+  while (true) {
+    // Check the firing target before the enabling scan so that the run
+    // stops at the moment the target actor's firing *finishes*, without
+    // starting fresh firings at the same instant.
+    if (target_reached()) {
+      result.reason = StopReason::ReachedFiringTarget;
+      break;
+    }
+    enabling_scan();
+    if (total_firings_ >= stop.max_firings) {
+      result.reason = StopReason::EventBudgetExhausted;
+      break;
+    }
+    if (heap_.empty()) {
+      result.reason = StopReason::Deadlock;
+      break;
+    }
+    const TimePoint next_time = heap_.front().time;
+    if (stop.until_time.has_value() && next_time > *stop.until_time) {
+      now_ = *stop.until_time;
+      result.reason = StopReason::ReachedTimeLimit;
+      break;
+    }
+    now_ = next_time;
+    // Drain all events at this instant before rescanning so that
+    // simultaneous productions are all visible to the enabling scan
+    // (a token produced at t is consumable at t).
+    while (!heap_.empty() && heap_.front().time == now_) {
+      std::pop_heap(heap_.begin(), heap_.end(),
+                    [](const Event& a, const Event& b) {
+                      if (a.time != b.time) {
+                        return a.time > b.time;
+                      }
+                      return a.seq > b.seq;
+                    });
+      const Event event = heap_.back();
+      heap_.pop_back();
+      if (event.kind == Event::Kind::FiringFinish) {
+        finish_firing(event.actor);
+      } else if (scheduled_wakeup_[event.actor.index()].has_value() &&
+                 *scheduled_wakeup_[event.actor.index()] == now_) {
+        scheduled_wakeup_[event.actor.index()].reset();
+      }
+    }
+  }
+
+  result.end_time = now_;
+  result.total_firings = total_firings_;
+  result.starvations = starvations_;
+  return result;
+}
+
+Simulator::StateSnapshot Simulator::snapshot() const {
+  StateSnapshot snap;
+  snap.tokens.reserve(edges_.size());
+  for (const EdgeMetrics& m : edges_) {
+    snap.tokens.push_back(m.tokens);
+  }
+  snap.remaining.reserve(actors_.size());
+  for (const ActorState& state : actors_) {
+    if (state.busy) {
+      snap.remaining.push_back((state.active_finish - now_).seconds());
+    } else {
+      snap.remaining.push_back(std::nullopt);
+    }
+  }
+  return snap;
+}
+
+const EdgeMetrics& Simulator::edge_metrics(EdgeId edge) const {
+  VRDF_REQUIRE(edge.is_valid() && edge.index() < edges_.size(),
+               "edge id out of range");
+  return edges_[edge.index()];
+}
+
+const ActorMetrics& Simulator::actor_metrics(ActorId actor) const {
+  VRDF_REQUIRE(actor.is_valid() && actor.index() < actor_metrics_.size(),
+               "actor id out of range");
+  return actor_metrics_[actor.index()];
+}
+
+const std::vector<FiringRecord>& Simulator::firings(ActorId actor) const {
+  VRDF_REQUIRE(actor.is_valid() && actor.index() < firing_records_.size(),
+               "actor id out of range");
+  return firing_records_[actor.index()];
+}
+
+const std::vector<EdgeTransfer>& Simulator::production_events(EdgeId edge) const {
+  VRDF_REQUIRE(edge.is_valid() && edge.index() < production_records_.size(),
+               "edge id out of range");
+  return production_records_[edge.index()];
+}
+
+const std::vector<EdgeTransfer>& Simulator::consumption_events(EdgeId edge) const {
+  VRDF_REQUIRE(edge.is_valid() && edge.index() < consumption_records_.size(),
+               "edge id out of range");
+  return consumption_records_[edge.index()];
+}
+
+bool Simulator::event_earlier(const Event& a, const Event& b) const {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  return a.seq < b.seq;
+}
+
+}  // namespace vrdf::sim

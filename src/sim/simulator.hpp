@@ -1,0 +1,200 @@
+// Discrete-event simulator for VRDF graphs.
+//
+// Implements the model semantics of Sec 3.2 exactly:
+//  * a firing is enabled when every input edge of the actor holds at least
+//    the firing's consumption quantum;
+//  * tokens are consumed atomically at the start of a firing and produced
+//    atomically ρ(v) later;
+//  * an actor never starts a firing before its previous firing finished;
+//  * a token produced at time t is consumable at time t (ties are resolved
+//    by processing all productions at t before the enabling scan).
+//
+// Time is exact (rational seconds); runs are fully deterministic: events
+// are ordered by (time, sequence number), the enabling scan visits actors
+// in id order, and quantum sources are deterministic streams.
+//
+// Buffer-paired edges share one quantum stream per endpoint: the producer
+// of a buffer draws one value q per firing and uses it both as the space
+// consumption (from e_ba) and the data production (onto e_ab); the
+// consumer symmetrically.  This is the task-level rule "a task requires as
+// many empty containers as it produces and returns as many as it
+// consumed" (Sec 3.3).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/vrdf_graph.hpp"
+#include "sim/quantum_source.hpp"
+#include "sim/sim_types.hpp"
+
+namespace vrdf::sim {
+
+/// One recorded firing (optional, see Simulator::record_firings).
+struct FiringRecord {
+  dataflow::ActorId actor;
+  std::int64_t index = 0;  // 0-based per-actor firing index
+  TimePoint start;
+  TimePoint finish;
+};
+
+/// One recorded token transfer on an edge (optional, see
+/// Simulator::record_transfers).  `cumulative` counts from 1.
+struct EdgeTransfer {
+  std::int64_t cumulative = 0;
+  std::int64_t count = 0;
+  TimePoint time;
+};
+
+class Simulator {
+public:
+  /// The graph is copied conceptually: the simulator snapshots rates,
+  /// response times and initial tokens at construction.  The graph object
+  /// must outlive the simulator (rate sets are referenced for validation).
+  explicit Simulator(const dataflow::VrdfGraph& graph);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Sets the execution mode of an actor (default: self-timed).
+  void set_actor_mode(dataflow::ActorId actor, ActorMode mode);
+
+  /// Installs the quantum stream for `actor`'s side of the buffer that
+  /// `edge` belongs to (either the data or the space edge may be named).
+  /// For bare edges, installs the production stream when `actor` is the
+  /// edge's source and the consumption stream when it is the target.
+  /// Values outside the edge's rate set cause a ModelError during run().
+  void set_quantum_source(dataflow::ActorId actor, dataflow::EdgeId edge,
+                          std::unique_ptr<QuantumSource> source);
+
+  /// Fills every port that has no explicit source: singleton rate sets get
+  /// a constant source; non-singleton sets get a uniformly random source
+  /// seeded from `seed` and the port's position (deterministic).
+  void set_default_sources(std::uint64_t seed);
+
+  /// Adds an artificial release delay to one firing of one actor: the
+  /// firing may not start before its enabling time plus `delay`.  Used by
+  /// the monotonicity/linearity property checks (Defs 1 and 2).
+  void inject_release_delay(dataflow::ActorId actor, std::int64_t firing_index,
+                            Duration delay);
+
+  /// Makes the actor's firings finish early at random: each firing's
+  /// duration is drawn uniformly from a 1024-step grid over
+  /// [min_fraction·ρ(v), ρ(v)].  ρ(v) is a *worst-case* response time in
+  /// the model, so capacities must tolerate any such run (monotonicity,
+  /// Def 1); this is the engine's failure-injection hook for testing that
+  /// claim end to end.  min_fraction must be in (0, 1].
+  void set_response_time_jitter(dataflow::ActorId actor, std::uint64_t seed,
+                                Rational min_fraction);
+
+  /// Enables per-firing records for an actor (capped at `max_records`).
+  void record_firings(dataflow::ActorId actor, std::size_t max_records = 1 << 20);
+  /// Enables production/consumption transfer records for an edge.
+  void record_transfers(dataflow::EdgeId edge, std::size_t max_records = 1 << 20);
+
+  /// Runs until the stop condition triggers; may be called repeatedly with
+  /// new conditions to continue a run.
+  RunResult run(const StopCondition& stop);
+
+  /// The simulator's full timing-relevant state at the current instant:
+  /// token counts per edge plus, for each busy actor, the remaining time
+  /// to its firing's finish.  Two runs of a data-independent graph that
+  /// reach equal snapshots evolve identically from there on (used by the
+  /// steady-state detector).
+  struct StateSnapshot {
+    std::vector<std::int64_t> tokens;            // per edge id
+    std::vector<std::optional<Rational>> remaining;  // per actor id, seconds
+
+    friend bool operator==(const StateSnapshot&, const StateSnapshot&) = default;
+  };
+  [[nodiscard]] StateSnapshot snapshot() const;
+
+  [[nodiscard]] const EdgeMetrics& edge_metrics(dataflow::EdgeId edge) const;
+  [[nodiscard]] const ActorMetrics& actor_metrics(dataflow::ActorId actor) const;
+  [[nodiscard]] const std::vector<FiringRecord>& firings(dataflow::ActorId actor) const;
+  /// Token productions onto `edge`, in time order (requires record_transfers).
+  [[nodiscard]] const std::vector<EdgeTransfer>& production_events(
+      dataflow::EdgeId edge) const;
+  /// Token consumptions from `edge`, in time order.
+  [[nodiscard]] const std::vector<EdgeTransfer>& consumption_events(
+      dataflow::EdgeId edge) const;
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+private:
+  struct Port {
+    dataflow::EdgeId in_edge;   // consumed from at start (may be invalid)
+    dataflow::EdgeId out_edge;  // produced onto at finish (may be invalid)
+    std::unique_ptr<QuantumSource> source;
+  };
+
+  struct ActorState {
+    ActorMode mode;
+    bool busy = false;
+    std::int64_t started = 0;
+    std::int64_t finished = 0;
+    std::vector<Port> ports;
+    /// Quanta drawn for the next firing (aligned with ports); valid when
+    /// quanta_drawn.
+    std::vector<std::int64_t> pending_quanta;
+    bool quanta_drawn = false;
+    /// Quanta, start and finish time of the in-flight firing.
+    std::vector<std::int64_t> active_quanta;
+    TimePoint active_start;
+    TimePoint active_finish;
+    /// Pending starvation record index (periodic actors that missed an
+    /// activation and have not started it yet).
+    std::optional<std::size_t> open_starvation;
+    std::optional<TimePoint> last_start;
+    /// Release gate for the pending firing once its delay elapsed.
+    std::optional<TimePoint> release_not_before;
+    std::unordered_map<std::int64_t, Duration> release_delays;
+    /// Response-time jitter (failure injection); 0 numerator == disabled.
+    std::uint64_t jitter_state = 0;
+    bool jitter_enabled = false;
+    Rational jitter_min_fraction;
+    bool record = false;
+    std::size_t record_cap = 0;
+  };
+
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    enum class Kind { FiringFinish, Wakeup } kind;
+    dataflow::ActorId actor;  // FiringFinish: the actor finishing
+  };
+
+  void push_event(Event e);
+  [[nodiscard]] bool event_earlier(const Event& a, const Event& b) const;
+  void draw_quanta(dataflow::ActorId actor);
+  /// Earliest time >= now at which `actor` may start per its mode and
+  /// release delays; nullopt when the mode forbids starting yet and no
+  /// wakeup is needed (already scheduled).
+  [[nodiscard]] bool tokens_available(const ActorState& s) const;
+  void start_firing(dataflow::ActorId actor);
+  void finish_firing(dataflow::ActorId actor);
+  /// Scans for startable actors at `now_` until a fixed point; schedules
+  /// wakeups for time-gated actors.
+  void enabling_scan();
+  void add_tokens(dataflow::EdgeId edge, std::int64_t count);
+  void remove_tokens(dataflow::EdgeId edge, std::int64_t count);
+
+  const dataflow::VrdfGraph& graph_;
+  TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Event> heap_;  // binary heap via std::push_heap (min-heap)
+  std::vector<ActorState> actors_;
+  std::vector<EdgeMetrics> edges_;
+  std::vector<ActorMetrics> actor_metrics_;
+  std::vector<std::vector<FiringRecord>> firing_records_;
+  std::vector<std::vector<EdgeTransfer>> production_records_;
+  std::vector<std::vector<EdgeTransfer>> consumption_records_;
+  std::vector<char> transfer_recording_;
+  std::vector<std::size_t> transfer_caps_;
+  std::vector<Starvation> starvations_;
+  std::int64_t total_firings_ = 0;
+  /// Wakeups already scheduled per actor (avoid duplicates).
+  std::vector<std::optional<TimePoint>> scheduled_wakeup_;
+};
+
+}  // namespace vrdf::sim

@@ -1,0 +1,112 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vrdf::sim {
+
+namespace {
+
+/// Production time of the token with 1-based index `k`: initial tokens
+/// count as produced at t = 0; afterwards walk the recorded events.
+class ProductionTimeline {
+public:
+  ProductionTimeline(const std::vector<EdgeTransfer>& events,
+                     std::int64_t initial_tokens)
+      : events_(events), initial_(initial_tokens) {}
+
+  [[nodiscard]] std::optional<TimePoint> time_of(std::int64_t k) {
+    if (k <= initial_) {
+      return TimePoint();
+    }
+    const std::int64_t produced_index = k - initial_;
+    while (cursor_ < events_.size() &&
+           events_[cursor_].cumulative < produced_index) {
+      ++cursor_;
+    }
+    if (cursor_ >= events_.size()) {
+      return std::nullopt;  // recording cap reached
+    }
+    return events_[cursor_].time;
+  }
+
+private:
+  const std::vector<EdgeTransfer>& events_;
+  std::int64_t initial_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::optional<ResidencyStats> token_residency(const Simulator& sim,
+                                              const dataflow::VrdfGraph& graph,
+                                              dataflow::EdgeId edge) {
+  const auto& consumptions = sim.consumption_events(edge);
+  if (consumptions.empty()) {
+    return std::nullopt;
+  }
+  ProductionTimeline productions(sim.production_events(edge),
+                                 graph.edge(edge).initial_tokens);
+  ResidencyStats stats;
+  Rational total;
+  bool first = true;
+  for (const EdgeTransfer& c : consumptions) {
+    // Residency of an atomic consumption is bounded by its *oldest* token
+    // (FIFO): token index cumulative − count + 1 .. cumulative; use each
+    // token for the mean, the oldest for max and the newest for min.
+    for (std::int64_t k = c.cumulative - c.count + 1; k <= c.cumulative; ++k) {
+      const auto produced = productions.time_of(k);
+      if (!produced.has_value()) {
+        break;  // beyond the recording cap; stop cleanly
+      }
+      const Duration residency = c.time - *produced;
+      VRDF_REQUIRE(!residency.is_negative(),
+                   "token consumed before production (engine bug)");
+      if (first || residency > stats.max_residency) {
+        stats.max_residency = residency;
+      }
+      if (first || residency < stats.min_residency) {
+        stats.min_residency = residency;
+      }
+      first = false;
+      total += residency.seconds();
+      ++stats.tokens;
+    }
+  }
+  if (stats.tokens == 0) {
+    return std::nullopt;
+  }
+  stats.mean_seconds = total / Rational(stats.tokens);
+  return stats;
+}
+
+std::int64_t peak_occupancy(const Simulator& sim,
+                            const dataflow::VrdfGraph& graph,
+                            dataflow::EdgeId edge) {
+  // Merge the two event streams by time (production first on ties: a token
+  // produced at t is consumable at t, so occupancy momentarily includes it).
+  const auto& productions = sim.production_events(edge);
+  const auto& consumptions = sim.consumption_events(edge);
+  std::int64_t occupancy = graph.edge(edge).initial_tokens;
+  std::int64_t peak = occupancy;
+  std::size_t pi = 0;
+  std::size_t ci = 0;
+  while (pi < productions.size() || ci < consumptions.size()) {
+    const bool take_production =
+        ci >= consumptions.size() ||
+        (pi < productions.size() &&
+         productions[pi].time <= consumptions[ci].time);
+    if (take_production) {
+      occupancy += productions[pi].count;
+      peak = std::max(peak, occupancy);
+      ++pi;
+    } else {
+      occupancy -= consumptions[ci].count;
+      ++ci;
+    }
+  }
+  return peak;
+}
+
+}  // namespace vrdf::sim

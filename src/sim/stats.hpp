@@ -1,0 +1,40 @@
+// Post-run statistics derived from recorded transfer events.
+//
+// FIFO buffers deliver tokens in production order, so the k-th token
+// consumed from an edge is the k-th token produced onto it (counting the
+// initial tokens as produced at t = 0).  Token residency — the time a
+// token spends in the buffer — is therefore well defined per edge and is
+// the buffer-level latency metric of a sized chain.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/simulator.hpp"
+
+namespace vrdf::sim {
+
+struct ResidencyStats {
+  /// Number of consumed tokens the statistics cover.
+  std::int64_t tokens = 0;
+  Duration max_residency;
+  Duration min_residency;
+  /// Mean residency in seconds (exact).
+  Rational mean_seconds;
+};
+
+/// Residency statistics for an edge; requires record_transfers(edge) to
+/// have been enabled before the run.  Returns nullopt when no token was
+/// consumed.
+[[nodiscard]] std::optional<ResidencyStats> token_residency(
+    const Simulator& sim, const dataflow::VrdfGraph& graph,
+    dataflow::EdgeId edge);
+
+/// Maximum number of tokens simultaneously in the buffer (data edge view):
+/// initial + produced − consumed, maximized over the recorded event
+/// sequence.  Requires record_transfers(edge).
+[[nodiscard]] std::int64_t peak_occupancy(const Simulator& sim,
+                                          const dataflow::VrdfGraph& graph,
+                                          dataflow::EdgeId edge);
+
+}  // namespace vrdf::sim

@@ -1,0 +1,85 @@
+#include "sim/steady_state.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vrdf::sim {
+
+namespace {
+
+/// Canonical text encoding of a snapshot (exact: token counts and rational
+/// remainders).
+std::string encode(const Simulator::StateSnapshot& snap) {
+  std::ostringstream os;
+  for (const std::int64_t t : snap.tokens) {
+    os << t << ',';
+  }
+  os << '|';
+  for (const auto& r : snap.remaining) {
+    if (r.has_value()) {
+      os << r->to_string();
+    } else {
+      os << '.';
+    }
+    os << ',';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+SteadyStateResult detect_steady_state(const dataflow::VrdfGraph& graph,
+                                      dataflow::ActorId observed,
+                                      std::int64_t max_observed_firings) {
+  for (const dataflow::EdgeId e : graph.edges()) {
+    const dataflow::Edge& edge = graph.edge(e);
+    VRDF_REQUIRE(edge.production.is_singleton() &&
+                     edge.consumption.is_singleton(),
+                 "steady-state detection requires a data-independent graph "
+                 "(all rate sets singletons)");
+  }
+  VRDF_REQUIRE(max_observed_firings > 0, "firing budget must be positive");
+
+  SteadyStateResult result;
+  Simulator sim(graph);
+  sim.set_default_sources(0);  // singletons -> constant sources
+
+  struct Occurrence {
+    std::int64_t firings;
+    Rational time_seconds;
+  };
+  std::map<std::string, Occurrence> seen;
+
+  for (std::int64_t k = 1; k <= max_observed_firings; ++k) {
+    StopCondition stop;
+    stop.firing_target = StopCondition::FiringTarget{observed, k};
+    const RunResult run = sim.run(stop);
+    if (run.reason == StopReason::Deadlock) {
+      result.deadlocked = true;
+      return result;
+    }
+    if (run.reason != StopReason::ReachedFiringTarget) {
+      return result;  // budget exhausted inside the engine
+    }
+    const std::string key = encode(sim.snapshot());
+    const auto [it, inserted] =
+        seen.emplace(key, Occurrence{k, sim.now().seconds()});
+    if (!inserted) {
+      result.found = true;
+      result.transient_firings = it->second.firings;
+      result.cycle_firings = k - it->second.firings;
+      result.cycle_length =
+          Duration(sim.now().seconds() - it->second.time_seconds);
+      VRDF_REQUIRE(result.cycle_length.is_positive(),
+                   "steady-state cycle must advance time (engine bug)");
+      result.throughput = Rational(result.cycle_firings) /
+                          result.cycle_length.seconds();
+      return result;
+    }
+  }
+  return result;  // no recurrence within the budget
+}
+
+}  // namespace vrdf::sim

@@ -1,0 +1,48 @@
+// Exact steady-state throughput by state recurrence.
+//
+// A self-timed, data-independent (all rate sets singleton) VRDF graph is a
+// deterministic dynamical system over a finite state space of token
+// vectors and in-flight remainders, so its execution is eventually
+// periodic.  Observing the full state each time a designated actor
+// finishes a firing, the first recurrence closes the cycle, and the exact
+// long-run throughput is (firings per cycle) / (cycle length) — the
+// max-cycle-ratio result classical SDF analysis computes, obtained here by
+// executing the semantics directly.  This makes sufficiency checks for
+// constant-rate graphs *conclusive* rather than horizon-limited: a sized
+// graph sustains a period τ iff the detected throughput ≥ 1/τ.
+//
+// Restriction: self-timed actors and constant quanta only (with
+// data-dependent sources the state space includes the stream, and a
+// finite recurrence argument no longer applies).
+#pragma once
+
+#include <optional>
+
+#include "dataflow/vrdf_graph.hpp"
+#include "sim/simulator.hpp"
+
+namespace vrdf::sim {
+
+struct SteadyStateResult {
+  /// False when the graph deadlocked or no recurrence appeared within the
+  /// firing budget.
+  bool found = false;
+  bool deadlocked = false;
+  /// Exact long-run firings/second of the observed actor.
+  Rational throughput;
+  /// Observed-actor firings before the recurring cycle was first entered.
+  std::int64_t transient_firings = 0;
+  /// Observed-actor firings per cycle.
+  std::int64_t cycle_firings = 0;
+  /// Exact cycle length.
+  Duration cycle_length;
+};
+
+/// Runs the graph self-timed and detects the periodic steady state of
+/// `observed`.  Requires every rate set to be a singleton (throws
+/// ContractError otherwise).  `max_observed_firings` bounds the search.
+[[nodiscard]] SteadyStateResult detect_steady_state(
+    const dataflow::VrdfGraph& graph, dataflow::ActorId observed,
+    std::int64_t max_observed_firings = 1 << 20);
+
+}  // namespace vrdf::sim

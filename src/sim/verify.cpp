@@ -1,0 +1,123 @@
+#include "sim/verify.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vrdf::sim {
+
+using dataflow::ActorId;
+
+VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
+                               const analysis::ThroughputConstraint& constraint,
+                               const SimulatorConfigurer& configure,
+                               const VerifyOptions& options) {
+  VRDF_REQUIRE(options.observe_firings > 0, "need at least one observed firing");
+  VerifyResult result;
+  const Duration tau = constraint.period;
+
+  // Phase 1: self-timed, find the periodic offset.
+  Simulator phase1(graph);
+  if (configure) {
+    configure(phase1);
+  }
+  phase1.set_default_sources(options.default_seed);
+  phase1.record_firings(constraint.actor,
+                        static_cast<std::size_t>(options.observe_firings));
+  StopCondition stop;
+  stop.firing_target =
+      StopCondition::FiringTarget{constraint.actor, options.observe_firings};
+  const RunResult run1 = phase1.run(stop);
+  if (run1.reason != StopReason::ReachedFiringTarget) {
+    std::ostringstream os;
+    os << "phase 1 (self-timed) stopped early: "
+       << (run1.deadlocked() ? "deadlock" : "budget/time limit") << " at t="
+       << run1.end_time.seconds().to_string() << " s after "
+       << run1.total_firings << " firings";
+    result.detail = os.str();
+    return result;
+  }
+  // Smallest o with start_k <= o + k·τ  ==>  o = max_k(start_k − k·τ).
+  const auto& records = phase1.firings(constraint.actor);
+  VRDF_REQUIRE(!records.empty(), "phase 1 recorded no firings");
+  Duration offset = records[0].start.seconds().is_zero()
+                        ? Duration()
+                        : (records[0].start - TimePoint());
+  Duration max_lateness;
+  for (std::size_t k = 0; k < records.size(); ++k) {
+    const Duration lateness =
+        records[k].start - (TimePoint() + tau * Rational(static_cast<std::int64_t>(k)));
+    if (lateness > offset) {
+      offset = lateness;
+    }
+    const Duration vs_first =
+        records[k].start -
+        (records[0].start + tau * Rational(static_cast<std::int64_t>(k)));
+    if (vs_first > max_lateness) {
+      max_lateness = vs_first;
+    }
+  }
+  result.max_lateness_phase1 = max_lateness;
+  result.offset_used = TimePoint() + offset;
+
+  // Phase 2: enforce the periodic schedule at the measured offset.
+  Simulator phase2(graph);
+  if (configure) {
+    configure(phase2);
+  }
+  phase2.set_default_sources(options.default_seed);
+  phase2.set_actor_mode(constraint.actor,
+                        ActorMode::strictly_periodic(result.offset_used, tau));
+  const RunResult run2 = phase2.run(stop);
+  result.starvation_count = static_cast<std::int64_t>(run2.starvations.size());
+  if (run2.reason != StopReason::ReachedFiringTarget) {
+    std::ostringstream os;
+    os << "phase 2 (periodic) stopped early: "
+       << (run2.deadlocked() ? "deadlock" : "budget/time limit") << " after "
+       << run2.total_firings << " firings, " << result.starvation_count
+       << " starvations";
+    result.detail = os.str();
+    return result;
+  }
+  if (result.starvation_count != 0) {
+    std::ostringstream os;
+    os << result.starvation_count << " starved activations; first at t="
+       << run2.starvations.front().scheduled.seconds().to_string()
+       << " s (firing " << run2.starvations.front().firing << ")";
+    result.detail = os.str();
+    return result;
+  }
+  result.ok = true;
+  result.detail = "periodic execution sustained for " +
+                  std::to_string(options.observe_firings) + " firings";
+  return result;
+}
+
+Rational measure_self_timed_throughput(const dataflow::VrdfGraph& graph,
+                                       ActorId actor,
+                                       std::int64_t observe_firings,
+                                       const SimulatorConfigurer& configure,
+                                       std::uint64_t default_seed) {
+  VRDF_REQUIRE(observe_firings > 1, "need at least two observed firings");
+  Simulator sim(graph);
+  if (configure) {
+    configure(sim);
+  }
+  sim.set_default_sources(default_seed);
+  sim.record_firings(actor, static_cast<std::size_t>(observe_firings));
+  StopCondition stop;
+  stop.firing_target = StopCondition::FiringTarget{actor, observe_firings};
+  const RunResult run = sim.run(stop);
+  if (run.reason != StopReason::ReachedFiringTarget) {
+    return Rational(0);
+  }
+  const auto& records = sim.firings(actor);
+  const Duration span = records.back().start - records.front().start;
+  if (!span.is_positive()) {
+    return Rational(0);
+  }
+  return Rational(static_cast<std::int64_t>(records.size()) - 1) /
+         span.seconds();
+}
+
+}  // namespace vrdf::sim

@@ -1,0 +1,107 @@
+#include "taskgraph/task_graph.hpp"
+
+#include "graph/algorithms.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::taskgraph {
+
+TaskId TaskGraph::add_task(std::string name, Duration worst_case_response_time) {
+  VRDF_REQUIRE(!name.empty(), "task name must be non-empty");
+  VRDF_REQUIRE(worst_case_response_time.is_positive(),
+               "task worst-case response time must be positive");
+  VRDF_REQUIRE(!find_task(name).has_value(),
+               "task name '" + name + "' is already in use");
+  const TaskId id = topology_.add_node();
+  tasks_.push_back(Task{std::move(name), worst_case_response_time});
+  return id;
+}
+
+BufferId TaskGraph::add_buffer(TaskId producer, TaskId consumer,
+                               dataflow::RateSet production,
+                               dataflow::RateSet consumption) {
+  VRDF_REQUIRE(topology_.contains(producer), "buffer producer does not exist");
+  VRDF_REQUIRE(topology_.contains(consumer), "buffer consumer does not exist");
+  VRDF_REQUIRE(producer != consumer, "a task cannot buffer to itself");
+  (void)topology_.add_edge(producer, consumer);
+  const BufferId id(static_cast<BufferId::underlying_type>(buffers_.size()));
+  buffers_.push_back(Buffer{producer, consumer, std::move(production),
+                            std::move(consumption), std::nullopt});
+  return id;
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  VRDF_REQUIRE(topology_.contains(id), "task id out of range");
+  return tasks_[id.index()];
+}
+
+const Buffer& TaskGraph::buffer(BufferId id) const {
+  VRDF_REQUIRE(id.is_valid() && id.index() < buffers_.size(),
+               "buffer id out of range");
+  return buffers_[id.index()];
+}
+
+std::optional<TaskId> TaskGraph::find_task(const std::string& name) const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].name == name) {
+      return TaskId(static_cast<TaskId::underlying_type>(i));
+    }
+  }
+  return std::nullopt;
+}
+
+void TaskGraph::set_capacity(BufferId id, std::int64_t capacity) {
+  VRDF_REQUIRE(id.is_valid() && id.index() < buffers_.size(),
+               "buffer id out of range");
+  VRDF_REQUIRE(capacity > 0, "buffer capacity must be positive");
+  buffers_[id.index()].capacity = capacity;
+}
+
+bool TaskGraph::is_chain() const {
+  return chain_order().has_value();
+}
+
+std::optional<TaskGraph::ChainOrder> TaskGraph::chain_order() const {
+  const auto order = graph::chain_order(topology_);
+  if (!order.has_value()) {
+    return std::nullopt;
+  }
+  // Sec 3.1: at most one input and one output buffer per task.  chain_order
+  // already enforces exactly one forward edge per adjacent pair and the
+  // task graph has no anti-parallel edges, so back edges must be absent.
+  for (const auto& back : order->back_edges) {
+    if (!back.empty()) {
+      return std::nullopt;
+    }
+  }
+  ChainOrder out;
+  out.tasks = order->nodes;
+  out.buffers_in_order.reserve(order->forward_edges.size());
+  for (const graph::EdgeId e : order->forward_edges) {
+    // Buffers are added to the topology in buffers_ order.
+    out.buffers_in_order.push_back(
+        BufferId(static_cast<BufferId::underlying_type>(e.index())));
+  }
+  return out;
+}
+
+VrdfConstruction TaskGraph::to_vrdf() const {
+  VrdfConstruction out;
+  out.actor_of_task.reserve(tasks_.size());
+  for (const Task& t : tasks_) {
+    out.actor_of_task.push_back(
+        out.graph.add_actor(t.name, t.worst_case_response_time));
+  }
+  out.edges_of_buffer.reserve(buffers_.size());
+  for (const Buffer& b : buffers_) {
+    // δ(e_ba) = ζ(b_ab): the buffer capacity becomes the initial tokens on
+    // the space edge (Sec 3.3); unset capacities contribute zero tokens.
+    const std::int64_t capacity = b.capacity.value_or(0);
+    out.edges_of_buffer.push_back(out.graph.add_buffer(
+        out.actor_of_task[b.producer.index()],
+        out.actor_of_task[b.consumer.index()], b.production, b.consumption,
+        capacity));
+  }
+  return out;
+}
+
+}  // namespace vrdf::taskgraph

@@ -1,0 +1,96 @@
+// Task graphs — the paper's implementation model (Sec 3.1).
+//
+// T = (W, B, ξ, λ, κ, ζ): tasks W communicate over circular FIFO buffers B.
+// A task execution starts only when its input buffer holds enough full
+// containers (a value from λ(b)) *and* its output buffer holds enough empty
+// containers (a value from ξ(b), the amount it will produce), so the
+// execution runs to completion without blocking.  κ(w) is the worst-case
+// response time guaranteed by the run-time arbiter; ζ(b) is the buffer
+// capacity in containers — the quantity this library computes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/rate_set.hpp"
+#include "dataflow/vrdf_graph.hpp"
+#include "graph/digraph.hpp"
+#include "util/time.hpp"
+
+namespace vrdf::taskgraph {
+
+using TaskId = graph::NodeId;
+
+struct BufferTag {};
+using BufferId = graph::Id<BufferTag>;
+
+struct Task {
+  std::string name;
+  Duration worst_case_response_time;  // κ(w) > 0
+};
+
+struct Buffer {
+  TaskId producer;
+  TaskId consumer;
+  dataflow::RateSet production;   // ξ(b): containers produced per execution
+  dataflow::RateSet consumption;  // λ(b): containers consumed per execution
+  /// ζ(b): capacity in containers; nullopt until computed/assigned.
+  std::optional<std::int64_t> capacity;
+};
+
+/// Result of the Sec 3.3 model construction: the VRDF graph plus the
+/// task→actor and buffer→edge-pair correspondences.
+struct VrdfConstruction {
+  dataflow::VrdfGraph graph;
+  std::vector<dataflow::ActorId> actor_of_task;      // indexed by TaskId
+  std::vector<dataflow::BufferEdges> edges_of_buffer;  // indexed by BufferId
+};
+
+class TaskGraph {
+public:
+  /// Adds a task; names must be unique, κ must be positive.
+  TaskId add_task(std::string name, Duration worst_case_response_time);
+
+  /// Adds a buffer b_ab from producer to consumer with production set ξ and
+  /// consumption set λ.  Capacity starts unset (buffers are initially
+  /// empty; ζ is what the analysis computes).
+  BufferId add_buffer(TaskId producer, TaskId consumer,
+                      dataflow::RateSet production, dataflow::RateSet consumption);
+
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] const Buffer& buffer(BufferId id) const;
+  [[nodiscard]] std::optional<TaskId> find_task(const std::string& name) const;
+  [[nodiscard]] const graph::Digraph& topology() const { return topology_; }
+
+  /// Sets ζ(b).
+  void set_capacity(BufferId id, std::int64_t capacity);
+
+  /// True when every task has at most one input and one output buffer and
+  /// the graph is a weakly connected chain (Sec 3.1 restriction).
+  [[nodiscard]] bool is_chain() const;
+
+  /// Tasks ordered from the chain's source to its sink; nullopt when the
+  /// graph is not a chain.  buffers_in_order[i] connects tasks[i] to
+  /// tasks[i+1].
+  struct ChainOrder {
+    std::vector<TaskId> tasks;
+    std::vector<BufferId> buffers_in_order;
+  };
+  [[nodiscard]] std::optional<ChainOrder> chain_order() const;
+
+  /// Sec 3.3 construction: one actor per task with ρ(v) = κ(w); one buffer
+  /// pair of anti-parallel edges per buffer with δ(space edge) = ζ(b).
+  /// Buffers with unset capacity get δ = 0 (analysis will fill them in).
+  [[nodiscard]] VrdfConstruction to_vrdf() const;
+
+private:
+  graph::Digraph topology_;  // one node per task, one edge per buffer
+  std::vector<Task> tasks_;
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace vrdf::taskgraph

@@ -1,0 +1,80 @@
+#include "util/checked_int.hpp"
+
+#include <limits>
+
+namespace vrdf {
+
+namespace {
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+}  // namespace
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw OverflowError("int64 overflow in addition");
+  }
+  return out;
+}
+
+std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    throw OverflowError("int64 overflow in subtraction");
+  }
+  return out;
+}
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw OverflowError("int64 overflow in multiplication");
+  }
+  return out;
+}
+
+std::int64_t checked_neg(std::int64_t a) {
+  if (a == kMin) {
+    throw OverflowError("int64 overflow in negation");
+  }
+  return -a;
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  // std::gcd on int64 is fine except for INT64_MIN whose magnitude is not
+  // representable; map it to its largest power-of-two divisor's behaviour by
+  // rejecting it (no caller produces it legitimately).
+  if (a == kMin || b == kMin) {
+    throw OverflowError("gcd of INT64_MIN is not representable");
+  }
+  return std::gcd(a, b);
+}
+
+std::int64_t checked_lcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const std::int64_t g = gcd64(a, b);
+  const std::int64_t a_abs = a < 0 ? checked_neg(a) : a;
+  const std::int64_t b_abs = b < 0 ? checked_neg(b) : b;
+  return checked_mul(a_abs / g, b_abs);
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  VRDF_REQUIRE(b > 0, "floor_div requires a positive divisor");
+  std::int64_t q = a / b;
+  if (a % b != 0 && a < 0) {
+    --q;
+  }
+  return q;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  VRDF_REQUIRE(b > 0, "ceil_div requires a positive divisor");
+  std::int64_t q = a / b;
+  if (a % b != 0 && a > 0) {
+    ++q;
+  }
+  return q;
+}
+
+}  // namespace vrdf

@@ -1,0 +1,44 @@
+// Overflow-checked 64-bit integer helpers.
+//
+// Buffer-capacity formulas multiply token quanta (up to a few thousand) by
+// rate numerators; chains of such products can overflow int64 for synthetic
+// stress inputs.  All arithmetic feeding a reported capacity goes through
+// these helpers so that overflow is an exception, never a wrong number.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace vrdf {
+
+/// Adds two int64 values; throws OverflowError when the sum is not
+/// representable.
+[[nodiscard]] std::int64_t checked_add(std::int64_t a, std::int64_t b);
+
+/// Subtracts b from a; throws OverflowError when the difference is not
+/// representable.
+[[nodiscard]] std::int64_t checked_sub(std::int64_t a, std::int64_t b);
+
+/// Multiplies two int64 values; throws OverflowError when the product is not
+/// representable.
+[[nodiscard]] std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+/// Negates a; throws OverflowError for INT64_MIN.
+[[nodiscard]] std::int64_t checked_neg(std::int64_t a);
+
+/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+[[nodiscard]] std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Least common multiple of |a| and |b|; throws OverflowError when the
+/// result is not representable.  lcm(0, x) == 0.
+[[nodiscard]] std::int64_t checked_lcm(std::int64_t a, std::int64_t b);
+
+/// Floor division a / b for b > 0 (rounds towards negative infinity).
+[[nodiscard]] std::int64_t floor_div(std::int64_t a, std::int64_t b);
+
+/// Ceiling division a / b for b > 0 (rounds towards positive infinity).
+[[nodiscard]] std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+}  // namespace vrdf

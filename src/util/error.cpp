@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace vrdf::detail {
+
+void throw_contract_violation(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: " << msg << " [" << expr << " at " << file << ':'
+     << line << ']';
+  throw ContractError(os.str());
+}
+
+}  // namespace vrdf::detail

@@ -1,0 +1,55 @@
+// Error handling for the vrdf library.
+//
+// The library throws exceptions derived from vrdf::Error for violated
+// preconditions and model-validation failures.  Analysis routines that can
+// "fail" as a normal outcome (e.g. an inadmissible throughput constraint)
+// return result objects instead; exceptions are reserved for contract
+// violations and malformed models.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vrdf {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A numeric operation left the representable range (int64 overflow).
+class OverflowError : public Error {
+public:
+  explicit OverflowError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// A model (task graph / dataflow graph) violates a structural rule.
+class ModelError : public Error {
+public:
+  explicit ModelError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// A function argument violates the documented contract.
+class ContractError : public Error {
+public:
+  explicit ContractError(const std::string& what_arg) : Error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_violation(const char* expr, const char* file,
+                                           int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace vrdf
+
+/// Precondition check that is always active (analysis code is not hot enough
+/// to justify compiling checks out, and silent contract violations in an
+/// EDA tool produce silently wrong silicon-facing numbers).
+#define VRDF_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::vrdf::detail::throw_contract_violation(#expr, __FILE__, __LINE__,    \
+                                               (msg));                       \
+    }                                                                        \
+  } while (false)

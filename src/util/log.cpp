@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace vrdf::log {
+
+namespace {
+std::atomic<Level> g_level{Level::Warning};
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warning: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+void emit(Level lvl, const std::string& message) {
+  if (lvl < level()) {
+    return;
+  }
+  std::cerr << "[vrdf " << level_name(lvl) << "] " << message << '\n';
+}
+
+}  // namespace vrdf::log

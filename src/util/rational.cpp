@@ -1,0 +1,195 @@
+#include "util/rational.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+#include "util/checked_int.hpp"
+#include "util/error.hpp"
+
+namespace vrdf {
+
+namespace {
+
+__extension__ typedef __int128 Int128;
+
+constexpr std::int64_t kInt64Max = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kInt64Min = std::numeric_limits<std::int64_t>::min();
+
+std::int64_t narrow_128(Int128 v, const char* what) {
+  if (v > static_cast<Int128>(kInt64Max) || v < static_cast<Int128>(kInt64Min)) {
+    throw OverflowError(std::string("rational overflow in ") + what);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Int128 gcd_128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+  VRDF_REQUIRE(den != 0, "rational denominator must be non-zero");
+  if (num == 0) {
+    num_ = 0;
+    den_ = 1;
+    return;
+  }
+  Int128 n = static_cast<Int128>(num);
+  Int128 d = static_cast<Int128>(den);
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  const Int128 g = gcd_128(n, d);
+  num_ = narrow_128(n / g, "construction");
+  den_ = narrow_128(d / g, "construction");
+}
+
+std::int64_t Rational::floor() const {
+  return floor_div(num_, den_);
+}
+
+std::int64_t Rational::ceil() const {
+  return ceil_div(num_, den_);
+}
+
+std::int64_t Rational::trunc() const {
+  return num_ / den_;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) {
+    return std::to_string(num_);
+  }
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::from_string(const std::string& text) {
+  VRDF_REQUIRE(!text.empty(), "cannot parse rational from empty string");
+  const auto slash = text.find('/');
+  const auto dot = text.find('.');
+  try {
+    if (slash != std::string::npos) {
+      const std::int64_t n = std::stoll(text.substr(0, slash));
+      const std::int64_t d = std::stoll(text.substr(slash + 1));
+      return Rational(n, d);
+    }
+    if (dot != std::string::npos) {
+      const std::string whole = text.substr(0, dot);
+      const std::string frac = text.substr(dot + 1);
+      VRDF_REQUIRE(!frac.empty(), "decimal literal needs digits after '.'");
+      for (const char c : frac) {
+        VRDF_REQUIRE(std::isdigit(static_cast<unsigned char>(c)) != 0,
+                     "decimal fraction must be digits");
+      }
+      std::int64_t scale = 1;
+      for (std::size_t i = 0; i < frac.size(); ++i) {
+        scale = checked_mul(scale, 10);
+      }
+      const bool negative = !whole.empty() && whole[0] == '-';
+      const std::int64_t w =
+          (whole.empty() || whole == "-" || whole == "+") ? 0 : std::stoll(whole);
+      const std::int64_t f = std::stoll(frac);
+      const std::int64_t mag = checked_add(checked_mul(w < 0 ? -w : w, scale), f);
+      return Rational(negative ? checked_neg(mag) : mag, scale);
+    }
+    return Rational(std::stoll(text));
+  } catch (const std::invalid_argument&) {
+    throw ContractError("malformed rational literal: '" + text + "'");
+  } catch (const std::out_of_range&) {
+    throw OverflowError("rational literal out of range: '" + text + "'");
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked_neg(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::reciprocal() const {
+  VRDF_REQUIRE(num_ != 0, "reciprocal of zero");
+  return Rational(den_, num_);
+}
+
+Rational Rational::abs() const {
+  return num_ < 0 ? -*this : *this;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  // a/b + c/d = (a*d + c*b) / (b*d); normalize via 128-bit intermediates.
+  const Int128 n = static_cast<Int128>(num_) * rhs.den_ +
+                   static_cast<Int128>(rhs.num_) * den_;
+  const Int128 d = static_cast<Int128>(den_) * rhs.den_;
+  const Int128 g = n == 0 ? d : gcd_128(n, d);
+  num_ = narrow_128(n / g, "addition");
+  den_ = narrow_128(d / g, "addition");
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  const Int128 n = static_cast<Int128>(num_) * rhs.den_ -
+                   static_cast<Int128>(rhs.num_) * den_;
+  const Int128 d = static_cast<Int128>(den_) * rhs.den_;
+  const Int128 g = n == 0 ? d : gcd_128(n, d);
+  num_ = narrow_128(n / g, "subtraction");
+  den_ = narrow_128(d / g, "subtraction");
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  const Int128 n = static_cast<Int128>(num_) * rhs.num_;
+  const Int128 d = static_cast<Int128>(den_) * rhs.den_;
+  const Int128 g = n == 0 ? d : gcd_128(n, d);
+  num_ = narrow_128(n / g, "multiplication");
+  den_ = narrow_128(d / g, "multiplication");
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  VRDF_REQUIRE(rhs.num_ != 0, "rational division by zero");
+  Int128 n = static_cast<Int128>(num_) * rhs.den_;
+  Int128 d = static_cast<Int128>(den_) * rhs.num_;
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  const Int128 g = n == 0 ? d : gcd_128(n, d);
+  num_ = narrow_128(n / g, "division");
+  den_ = narrow_128(d / g, "division");
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Cross multiplication: denominators are positive, so the sign of
+  // a.num*b.den - b.num*a.den orders the values.  int64 * int64 fits int128.
+  const Int128 lhs = static_cast<Int128>(a.num_) * b.den_;
+  const Int128 rhs = static_cast<Int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+Rational min(const Rational& a, const Rational& b) { return a < b ? a : b; }
+Rational max(const Rational& a, const Rational& b) { return a > b ? a : b; }
+
+}  // namespace vrdf

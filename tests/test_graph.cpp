@@ -1,0 +1,252 @@
+// Unit tests for the digraph container and topology algorithms.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/digraph.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::graph {
+namespace {
+
+Digraph path_graph(std::size_t n) {
+  Digraph g;
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(g.add_node());
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    (void)g.add_edge(nodes[i], nodes[i + 1]);
+  }
+  return g;
+}
+
+TEST(Digraph, AddAndQuery) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId e = g.add_edge(a, b);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.edge_source(e), a);
+  EXPECT_EQ(g.edge_target(e), b);
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+  EXPECT_EQ(g.out_degree(b), 0u);
+}
+
+TEST(Digraph, RejectsDanglingEdges) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  EXPECT_THROW(g.add_edge(a, NodeId(7)), ContractError);
+  EXPECT_THROW(g.add_edge(NodeId::invalid(), a), ContractError);
+}
+
+TEST(Digraph, ParallelEdgesAndSelfLoopsRepresentable) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, a);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(a), 3u);
+}
+
+TEST(WeakConnectivity, EmptyAndSingletonAreConnected) {
+  Digraph g;
+  EXPECT_TRUE(is_weakly_connected(g));
+  (void)g.add_node();
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(WeakConnectivity, DirectionIsIgnored) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(b, a);
+  (void)g.add_edge(b, c);
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(WeakConnectivity, DetectsDisconnection) {
+  Digraph g;
+  (void)g.add_node();
+  (void)g.add_node();
+  EXPECT_FALSE(is_weakly_connected(g));
+}
+
+TEST(ChainOrder, RecognizesForwardChain) {
+  const Digraph g = path_graph(4);
+  const auto order = chain_order(g);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->nodes.size(), 4u);
+  EXPECT_EQ(order->nodes.front(), NodeId(0));
+  EXPECT_EQ(order->nodes.back(), NodeId(3));
+  EXPECT_EQ(order->forward_edges.size(), 3u);
+  for (const auto& back : order->back_edges) {
+    EXPECT_TRUE(back.empty());
+  }
+}
+
+TEST(ChainOrder, RecognizesChainBuiltBackwards) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(c, b);
+  (void)g.add_edge(b, a);
+  const auto order = chain_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->nodes.front(), c);
+  EXPECT_EQ(order->nodes.back(), a);
+}
+
+TEST(ChainOrder, AcceptsAntiParallelBackEdges) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId fwd = g.add_edge(a, b);
+  const EdgeId back = g.add_edge(b, a);
+  const auto order = chain_order(g);
+  ASSERT_TRUE(order.has_value());
+  // Ambiguous orientation: both (a,b) and (b,a) admit exactly one forward
+  // edge; the walk starts from the lower endpoint, so a comes first.
+  EXPECT_EQ(order->nodes.front(), a);
+  EXPECT_EQ(order->forward_edges[0], fwd);
+  ASSERT_EQ(order->back_edges[0].size(), 1u);
+  EXPECT_EQ(order->back_edges[0][0], back);
+}
+
+TEST(ChainOrder, SingleNodeIsAChain) {
+  Digraph g;
+  (void)g.add_node();
+  const auto order = chain_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->nodes.size(), 1u);
+  EXPECT_TRUE(order->forward_edges.empty());
+}
+
+TEST(ChainOrder, RejectsBranching) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, c);
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(ChainOrder, RejectsCycle) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(b, c);
+  (void)g.add_edge(c, a);
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(ChainOrder, RejectsSelfLoop) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, a);
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(ChainOrder, RejectsDisconnected) {
+  Digraph g = path_graph(3);
+  (void)g.add_node();
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(ChainOrder, RejectsMixedDirectionPath) {
+  // a -> b <- c is an undirected path but has no consistent orientation.
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(c, b);
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(TopologicalOrder, OrdersDag) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, c);
+  (void)g.add_edge(b, c);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> position(3);
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    position[(*order)[i].index()] = i;
+  }
+  EXPECT_LT(position[a.index()], position[b.index()]);
+  EXPECT_LT(position[b.index()], position[c.index()]);
+}
+
+TEST(TopologicalOrder, DetectsCycle) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(b, a);
+  EXPECT_FALSE(topological_order(g).has_value());
+  EXPECT_TRUE(has_directed_cycle(g));
+}
+
+TEST(Scc, FindsComponents) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(b, a);
+  (void)g.add_edge(b, c);
+  (void)g.add_edge(c, d);
+  (void)g.add_edge(d, c);
+  const auto sccs = strongly_connected_components(g);
+  ASSERT_EQ(sccs.size(), 2u);
+  // Each component has two nodes.
+  EXPECT_EQ(sccs[0].size(), 2u);
+  EXPECT_EQ(sccs[1].size(), 2u);
+}
+
+TEST(Scc, SingletonComponents) {
+  const Digraph g = path_graph(3);
+  EXPECT_EQ(strongly_connected_components(g).size(), 3u);
+}
+
+TEST(Scc, BufferPairIsOneComponent) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(b, a);
+  EXPECT_EQ(strongly_connected_components(g).size(), 1u);
+}
+
+TEST(HasPath, FindsAndRejectsPaths) {
+  const Digraph g = path_graph(4);
+  EXPECT_TRUE(has_path(g, NodeId(0), NodeId(3)));
+  EXPECT_FALSE(has_path(g, NodeId(3), NodeId(0)));
+  EXPECT_TRUE(has_path(g, NodeId(2), NodeId(2)));
+}
+
+TEST(Ids, InvalidAndValidBehaviour) {
+  EXPECT_FALSE(NodeId::invalid().is_valid());
+  EXPECT_TRUE(NodeId(0).is_valid());
+  EXPECT_EQ(NodeId(3).index(), 3u);
+  EXPECT_NE(std::hash<NodeId>{}(NodeId(1)), std::hash<NodeId>{}(NodeId(2)));
+}
+
+}  // namespace
+}  // namespace vrdf::graph

@@ -1,0 +1,168 @@
+// Integration test: full reproduction of the paper's Sec 5 case study.
+//
+// The MP3 playback chain must yield
+//  * maximal admissible response times 51.2 ms / 24 ms / 10 ms / (1/44100) s,
+//  * VRDF capacities d1 = 6015, d2 = 3263, d3 = 882,
+//  * traditional [10] capacities 5888 / 3072 / 882 (n fixed to 960),
+// and the computed capacities must sustain strictly periodic 44.1 kHz DAC
+// execution in simulation for representative and adversarial bit-rate
+// sequences.
+#include <gtest/gtest.h>
+
+#include "analysis/buffer_sizing.hpp"
+#include "baseline/traditional.hpp"
+#include "models/mp3.hpp"
+#include "sim/verify.hpp"
+
+namespace vrdf {
+namespace {
+
+using analysis::AnalysisOptions;
+using analysis::ChainAnalysis;
+using analysis::RoundingMode;
+using models::make_mp3_playback;
+using models::Mp3PaperNumbers;
+using models::Mp3Playback;
+
+TEST(Mp3Reproduction, MaxAdmissibleResponseTimesMatchPaper) {
+  const Mp3Playback app = make_mp3_playback();
+  const auto budget =
+      analysis::max_admissible_response_times(app.graph, app.constraint);
+  ASSERT_TRUE(budget.ok);
+  ASSERT_EQ(budget.actors_in_order.size(), 4u);
+  // Chain order is vBR, vMP3, vSRC, vDAC.
+  EXPECT_EQ(budget.actors_in_order[0], app.br);
+  EXPECT_EQ(budget.actors_in_order[3], app.dac);
+  EXPECT_EQ(budget.max_response_times[0], milliseconds(Rational(512, 10)));
+  EXPECT_EQ(budget.max_response_times[1], milliseconds(Rational(24)));
+  EXPECT_EQ(budget.max_response_times[2], milliseconds(Rational(10)));
+  EXPECT_EQ(budget.max_response_times[3], period_of_hz(Rational(44100)));
+}
+
+TEST(Mp3Reproduction, VrdfCapacitiesMatchPaper) {
+  const Mp3Playback app = make_mp3_playback();
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  ASSERT_TRUE(analysis.admissible) << analysis.diagnostics.size();
+  ASSERT_EQ(analysis.pairs.size(), 3u);
+  EXPECT_EQ(analysis.pairs[0].capacity, Mp3PaperNumbers::kVrdfCapacities[0]);
+  EXPECT_EQ(analysis.pairs[1].capacity, Mp3PaperNumbers::kVrdfCapacities[1]);
+  EXPECT_EQ(analysis.pairs[2].capacity, Mp3PaperNumbers::kVrdfCapacities[2]);
+}
+
+TEST(Mp3Reproduction, RawTokenCountsAreIntegral) {
+  // The paper's arithmetic works out to exactly integral raw counts
+  // x = {6014, 3262, 882}; any floating-point drift would break this.
+  const Mp3Playback app = make_mp3_playback();
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  EXPECT_EQ(analysis.pairs[0].raw_tokens, Rational(6014));
+  EXPECT_EQ(analysis.pairs[1].raw_tokens, Rational(3262));
+  EXPECT_EQ(analysis.pairs[2].raw_tokens, Rational(882));
+}
+
+TEST(Mp3Reproduction, PaperLiteralRoundingOverprovisionsStaticPairByOne) {
+  const Mp3Playback app = make_mp3_playback();
+  AnalysisOptions options;
+  options.rounding = RoundingMode::PaperLiteral;
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(app.graph, app.constraint, options);
+  ASSERT_TRUE(analysis.admissible);
+  EXPECT_EQ(analysis.pairs[0].capacity, 6015);
+  EXPECT_EQ(analysis.pairs[1].capacity, 3263);
+  EXPECT_EQ(analysis.pairs[2].capacity, 883);  // ⌊882⌋+1 on the static pair
+}
+
+TEST(Mp3Reproduction, TraditionalBaselineMatchesPaper) {
+  const Mp3Playback app = make_mp3_playback();
+  const auto traditional = baseline::traditional_chain_capacities(app.graph);
+  ASSERT_TRUE(traditional.ok);
+  ASSERT_EQ(traditional.pairs.size(), 3u);
+  EXPECT_EQ(traditional.pairs[0].capacity,
+            Mp3PaperNumbers::kTraditionalCapacities[0]);
+  EXPECT_EQ(traditional.pairs[1].capacity,
+            Mp3PaperNumbers::kTraditionalCapacities[1]);
+  EXPECT_EQ(traditional.pairs[2].capacity,
+            Mp3PaperNumbers::kTraditionalCapacities[2]);
+}
+
+TEST(Mp3Reproduction, PacingIsTightOnEveryActor) {
+  // The paper's response times are exactly the pacing; the admissibility
+  // check must accept equality.
+  const Mp3Playback app = make_mp3_playback();
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  for (std::size_t i = 0; i < analysis.actors_in_order.size(); ++i) {
+    EXPECT_EQ(analysis.pacing[i],
+              app.graph.actor(analysis.actors_in_order[i]).response_time);
+  }
+}
+
+class Mp3Verification : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Mp3Verification, ComputedCapacitiesSustainPeriodicDac) {
+  Mp3Playback app = make_mp3_playback();
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  analysis::apply_capacities(app.graph, analysis);
+
+  sim::VerifyOptions options;
+  options.observe_firings = 200000;  // ~4.5 s of audio
+  options.default_seed = GetParam();
+  const sim::VerifyResult result =
+      sim::verify_throughput(app.graph, app.constraint, {}, options);
+  EXPECT_TRUE(result.ok) << result.detail;
+  EXPECT_EQ(result.starvation_count, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBitrates, Mp3Verification,
+                         ::testing::Values(1u, 2u, 3u, 17u, 1234u));
+
+TEST(Mp3Reproduction, AdversarialConstantLowBitrateSustainsPeriodicDac) {
+  // n ≡ small constant forces the decoder to fire often and throttles vBR
+  // via back-pressure — the situation Sec 2 describes.  Capacities must
+  // still hold.
+  Mp3Playback app = make_mp3_playback();
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  analysis::apply_capacities(app.graph, analysis);
+
+  sim::VerifyOptions options;
+  options.observe_firings = 100000;
+  for (const std::int64_t n : {96LL, 250LL, 960LL}) {
+    const sim::VerifyResult result = sim::verify_throughput(
+        app.graph, app.constraint,
+        [&](sim::Simulator& s) {
+          s.set_quantum_source(app.mp3, app.b1.data, sim::constant_source(n));
+        },
+        options);
+    EXPECT_TRUE(result.ok) << "n=" << n << ": " << result.detail;
+  }
+}
+
+TEST(Mp3Reproduction, MinMaxAlternationSustainsPeriodicDac) {
+  Mp3Playback app = make_mp3_playback();
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  analysis::apply_capacities(app.graph, analysis);
+
+  sim::VerifyOptions options;
+  options.observe_firings = 100000;
+  const sim::VerifyResult result = sim::verify_throughput(
+      app.graph, app.constraint,
+      [&](sim::Simulator& s) {
+        const auto& set = app.graph.edge(app.b1.data).consumption;
+        s.set_quantum_source(app.mp3, app.b1.data,
+                             sim::min_max_alternating_source(set));
+      },
+      options);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+}  // namespace
+}  // namespace vrdf

@@ -1,0 +1,272 @@
+// Tests for the TDM platform layer, token-residency statistics, and trace
+// export (CSV + VCD).
+#include <gtest/gtest.h>
+
+#include "analysis/buffer_sizing.hpp"
+#include "io/trace.hpp"
+#include "models/fig1.hpp"
+#include "sched/platform.hpp"
+#include "sim/stats.hpp"
+#include "sim/verify.hpp"
+#include "util/error.hpp"
+
+namespace vrdf {
+namespace {
+
+using dataflow::RateSet;
+
+TEST(Platform, BindingAndResponseTimes) {
+  sched::Platform platform;
+  const std::size_t p0 =
+      platform.add_processor("dsp0", milliseconds(Rational(4)));
+  platform.bind_task("decode", p0, milliseconds(Rational(1)),
+                     milliseconds(Rational(2)));
+  // κ = ceil(2/1)·(4−1) + 2 = 8 ms.
+  EXPECT_EQ(platform.response_time("decode"), milliseconds(Rational(8)));
+  EXPECT_EQ(platform.utilization(p0), Rational(1, 4));
+  EXPECT_EQ(platform.slack(p0), milliseconds(Rational(3)));
+}
+
+TEST(Platform, RejectsOversubscription) {
+  sched::Platform platform;
+  const std::size_t p0 =
+      platform.add_processor("dsp0", milliseconds(Rational(4)));
+  platform.bind_task("t1", p0, milliseconds(Rational(3)),
+                     milliseconds(Rational(1)));
+  EXPECT_THROW(platform.bind_task("t2", p0, milliseconds(Rational(2)),
+                                  milliseconds(Rational(1))),
+               ContractError);
+  // Exactly filling the wheel is fine.
+  platform.bind_task("t3", p0, milliseconds(Rational(1)),
+                     milliseconds(Rational(1)));
+  EXPECT_EQ(platform.utilization(p0), Rational(1));
+}
+
+TEST(Platform, RejectsDuplicateBindingsAndUnknownLookups) {
+  sched::Platform platform;
+  const std::size_t p0 =
+      platform.add_processor("dsp0", milliseconds(Rational(4)));
+  platform.bind_task("t", p0, milliseconds(Rational(1)),
+                     milliseconds(Rational(1)));
+  EXPECT_THROW(platform.bind_task("t", p0, milliseconds(Rational(1)),
+                                  milliseconds(Rational(1))),
+               ContractError);
+  EXPECT_THROW((void)platform.response_time("nope"), ContractError);
+  EXPECT_THROW((void)platform.add_processor("dsp0", milliseconds(Rational(1))),
+               ContractError);
+}
+
+TEST(Platform, DrivesChainAdmissibility) {
+  // Two tasks on one processor: generous slots keep the chain admissible,
+  // starving a task's slot breaks it.
+  const auto build_and_check = [](Duration slot_a, Duration slot_b) {
+    sched::Platform platform;
+    const std::size_t dsp =
+        platform.add_processor("dsp", milliseconds(Rational(2)));
+    platform.bind_task("wa", dsp, slot_a, milliseconds(Rational(1)));
+    platform.bind_task("wb", dsp, slot_b, milliseconds(Rational(1)));
+    const models::Fig1Vrdf model = models::make_fig1_vrdf(
+        milliseconds(Rational(8)), platform.response_time("wa"),
+        platform.response_time("wb"));
+    return analysis::compute_buffer_capacities(model.graph, model.constraint)
+        .admissible;
+  };
+  EXPECT_TRUE(build_and_check(milliseconds(Rational(1)),
+                              milliseconds(Rational(1))));
+  // A tiny slot blows up κ(wa) beyond φ(wa) = 8 ms:
+  // ceil(1/(1/5))·(2−1/5)+1 = 10 ms.
+  EXPECT_FALSE(build_and_check(milliseconds(Rational(1, 5)),
+                               milliseconds(Rational(1))));
+}
+
+TEST(Platform, FullDesignFlowOnMp3) {
+  // The complete deployment story: WCETs and TDM slots produce the kappa
+  // values; the analysis then accepts the mapping iff every kappa fits its
+  // pacing budget (51.2 / 24 / 10 ms, 1/44100 s).
+  sched::Platform platform;
+  const std::size_t io_proc =
+      platform.add_processor("io", milliseconds(Rational(10)));
+  const std::size_t dsp =
+      platform.add_processor("dsp", milliseconds(Rational(2)));
+  // vBR: C = 10 ms, 2 ms slot of a 10 ms wheel:
+  //   kappa = ceil(5)*8 + 10 = 50 ms <= 51.2 ms.
+  platform.bind_task("vBR", io_proc, milliseconds(Rational(2)),
+                     milliseconds(Rational(10)));
+  // vMP3: C = 6 ms, 1 ms slot of a 2 ms wheel: kappa = 6*1 + 6 = 12 <= 24.
+  platform.bind_task("vMP3", dsp, milliseconds(Rational(1)),
+                     milliseconds(Rational(6)));
+  // vSRC: C = 2 ms, 1/2 ms slot: kappa = 4*(3/2) + 2 = 8 ms <= 10 ms.
+  platform.bind_task("vSRC", dsp, milliseconds(Rational(1, 2)),
+                     milliseconds(Rational(2)));
+  // vDAC is dedicated hardware: kappa = 1/44100 s (no arbitration).
+
+  dataflow::VrdfGraph graph;
+  const auto br = graph.add_actor("vBR", platform.response_time("vBR"));
+  const auto mp3 = graph.add_actor("vMP3", platform.response_time("vMP3"));
+  const auto src = graph.add_actor("vSRC", platform.response_time("vSRC"));
+  const auto dac = graph.add_actor("vDAC", period_of_hz(Rational(44100)));
+  (void)graph.add_buffer(br, mp3, RateSet::singleton(2048),
+                         RateSet::interval(0, 960));
+  (void)graph.add_buffer(mp3, src, RateSet::singleton(1152),
+                         RateSet::singleton(480));
+  (void)graph.add_buffer(src, dac, RateSet::singleton(441),
+                         RateSet::singleton(1));
+  const analysis::ThroughputConstraint constraint{
+      dac, period_of_hz(Rational(44100))};
+  const analysis::ChainAnalysis sized =
+      analysis::compute_buffer_capacities(graph, constraint);
+  ASSERT_TRUE(sized.admissible);
+  // Smaller kappas than the paper's maxima shrink the capacities.
+  EXPECT_LT(sized.pairs[0].capacity, 6015);
+  EXPECT_LT(sized.pairs[1].capacity, 3263);
+  EXPECT_LE(sized.pairs[2].capacity, 882);
+
+  // Oversubscribing vSRC's slot breaks admissibility through kappa alone:
+  // 1/8 ms slot -> kappa = 16*(15/8) + 2 = 32 ms > 10 ms.
+  sched::Platform bad;
+  const std::size_t dsp2 = bad.add_processor("dsp", milliseconds(Rational(2)));
+  bad.bind_task("vSRC", dsp2, milliseconds(Rational(1, 8)),
+                milliseconds(Rational(2)));
+  dataflow::VrdfGraph slow;
+  const auto br2 = slow.add_actor("vBR", milliseconds(Rational(512, 10)));
+  const auto mp32 = slow.add_actor("vMP3", milliseconds(Rational(24)));
+  const auto src2 = slow.add_actor("vSRC", bad.response_time("vSRC"));
+  const auto dac2 = slow.add_actor("vDAC", period_of_hz(Rational(44100)));
+  (void)slow.add_buffer(br2, mp32, RateSet::singleton(2048),
+                        RateSet::interval(0, 960));
+  (void)slow.add_buffer(mp32, src2, RateSet::singleton(1152),
+                        RateSet::singleton(480));
+  (void)slow.add_buffer(src2, dac2, RateSet::singleton(441),
+                        RateSet::singleton(1));
+  EXPECT_FALSE(analysis::compute_buffer_capacities(
+                   slow, analysis::ThroughputConstraint{
+                             dac2, period_of_hz(Rational(44100))})
+                   .admissible);
+}
+
+struct TracedRun {
+  dataflow::VrdfGraph graph;
+  dataflow::ActorId a;
+  dataflow::ActorId b;
+  dataflow::BufferEdges buffer;
+  std::unique_ptr<sim::Simulator> sim;
+};
+
+TracedRun traced_run() {
+  TracedRun run;
+  run.a = run.graph.add_actor("a", milliseconds(Rational(1)));
+  run.b = run.graph.add_actor("b", milliseconds(Rational(2)));
+  run.buffer = run.graph.add_buffer(run.a, run.b, RateSet::singleton(2),
+                                    RateSet::singleton(2), 6);
+  run.sim = std::make_unique<sim::Simulator>(run.graph);
+  run.sim->set_default_sources(1);
+  run.sim->record_firings(run.a);
+  run.sim->record_firings(run.b);
+  run.sim->record_transfers(run.buffer.data);
+  run.sim->record_transfers(run.buffer.space);
+  sim::StopCondition stop;
+  stop.firing_target = sim::StopCondition::FiringTarget{run.b, 20};
+  (void)run.sim->run(stop);
+  return run;
+}
+
+TEST(Stats, ResidencyIsPositiveAndBounded) {
+  const TracedRun run = traced_run();
+  const auto stats =
+      sim::token_residency(*run.sim, run.graph, run.buffer.data);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->tokens, 0);
+  EXPECT_GE(stats->min_residency, Duration());
+  EXPECT_GE(stats->max_residency, stats->min_residency);
+  EXPECT_GE(stats->mean_seconds, stats->min_residency.seconds());
+  EXPECT_LE(stats->mean_seconds, stats->max_residency.seconds());
+}
+
+TEST(Stats, ResidencyCountsInitialTokensFromTimeZero) {
+  // Space edge: the first 6 tokens are initial; their residency equals the
+  // consumer... producer's first consumption time.
+  const TracedRun run = traced_run();
+  const auto stats =
+      sim::token_residency(*run.sim, run.graph, run.buffer.space);
+  ASSERT_TRUE(stats.has_value());
+  // Producer consumes 2 space tokens at t = 0: zero residency observed.
+  EXPECT_EQ(stats->min_residency, Duration());
+}
+
+TEST(Stats, NulloptWithoutConsumptions) {
+  dataflow::VrdfGraph g;
+  const auto a = g.add_actor("a", milliseconds(Rational(1)));
+  const auto b = g.add_actor("b", milliseconds(Rational(1)));
+  const auto buf =
+      g.add_buffer(a, b, RateSet::singleton(3), RateSet::singleton(3), 1);
+  sim::Simulator s(g);
+  s.set_default_sources(1);
+  s.record_transfers(buf.data);
+  sim::StopCondition stop;
+  stop.until_time = TimePoint(Rational(1));
+  (void)s.run(stop);  // deadlocks immediately
+  EXPECT_FALSE(sim::token_residency(s, g, buf.data).has_value());
+}
+
+TEST(Stats, PeakOccupancyNeverExceedsCapacity) {
+  const TracedRun run = traced_run();
+  const std::int64_t peak =
+      sim::peak_occupancy(*run.sim, run.graph, run.buffer.data);
+  EXPECT_GT(peak, 0);
+  EXPECT_LE(peak, 6);  // capacity
+  EXPECT_EQ(peak, run.sim->edge_metrics(run.buffer.data).max_tokens);
+}
+
+TEST(Trace, FiringsCsvShape) {
+  const TracedRun run = traced_run();
+  const std::string csv =
+      io::firings_to_csv(*run.sim, run.graph, {run.a, run.b});
+  EXPECT_EQ(csv.rfind("actor,firing,start_s,finish_s\n", 0), 0u);
+  EXPECT_NE(csv.find("\na,0,0,1/1000\n"), std::string::npos);
+  // One line per recorded firing plus the header.
+  const auto lines = static_cast<std::size_t>(
+      std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, 1 + run.sim->firings(run.a).size() +
+                       run.sim->firings(run.b).size());
+}
+
+TEST(Trace, OccupancyCsvTracksTokens) {
+  const TracedRun run = traced_run();
+  const std::string csv =
+      io::occupancy_to_csv(*run.sim, run.graph, {run.buffer.data});
+  EXPECT_EQ(csv.rfind("time_s,edge,tokens\n", 0), 0u);
+  EXPECT_NE(csv.find("0,a->b,0\n"), std::string::npos);  // starts empty
+  EXPECT_NE(csv.find(",a->b,2"), std::string::npos);     // fills to 2
+}
+
+TEST(Trace, VcdIsWellFormed) {
+  const TracedRun run = traced_run();
+  const std::string vcd = io::occupancy_to_vcd(
+      *run.sim, run.graph, {run.buffer.data, run.buffer.space});
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var integer 64 ! a_to_b $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var integer 64 \" a_to_b_space $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#0\n"), std::string::npos);
+  // Timestamps are non-decreasing.
+  std::int64_t last = -1;
+  std::istringstream is(vcd);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line[0] == '#') {
+      const std::int64_t t = std::stoll(line.substr(1));
+      EXPECT_GE(t, last);
+      last = t;
+    }
+  }
+  EXPECT_GE(last, 0);
+}
+
+TEST(Trace, VcdRejectsBadInputs) {
+  const TracedRun run = traced_run();
+  EXPECT_THROW((void)io::occupancy_to_vcd(*run.sim, run.graph, {}),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace vrdf

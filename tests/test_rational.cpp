@@ -1,0 +1,188 @@
+// Unit tests for exact rational arithmetic — the numeric foundation every
+// capacity number rests on.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/error.hpp"
+#include "util/rational.hpp"
+
+namespace vrdf {
+namespace {
+
+using rational_literals::operator""_r;
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesNegativeDenominator) {
+  const Rational r(3, -9);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 3);
+  EXPECT_TRUE(r.is_negative());
+}
+
+TEST(Rational, ZeroNumeratorCollapsesDenominator) {
+  const Rational r(0, -7);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW((void)Rational(1, 0), ContractError);
+}
+
+TEST(Rational, EqualityIsStructuralAfterNormalization) {
+  EXPECT_EQ(Rational(1, 2), Rational(2, 4));
+  EXPECT_EQ(Rational(-1, 2), Rational(1, -2));
+  EXPECT_NE(Rational(1, 2), Rational(1, 3));
+}
+
+TEST(Rational, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_GT(Rational(7, 2), Rational(10, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+}
+
+TEST(Rational, AdditionAndSubtraction) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 2), Rational(0));
+  EXPECT_EQ(Rational(-1, 4) + Rational(1, 4), Rational(0));
+}
+
+TEST(Rational, MultiplicationAndDivision) {
+  EXPECT_EQ(Rational(2, 3) * Rational(9, 4), Rational(3, 2));
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 3), Rational(1, 2));
+  EXPECT_EQ(Rational(5) * Rational(0), Rational(0));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(Rational(1) / Rational(0)), ContractError);
+  EXPECT_THROW((void)Rational(0).reciprocal(), ContractError);
+}
+
+TEST(Rational, FloorCeilTrunc) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).trunc(), 3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).trunc(), -3);
+  EXPECT_EQ(Rational(6).floor(), 6);
+  EXPECT_EQ(Rational(6).ceil(), 6);
+}
+
+TEST(Rational, IsIntegerDetection) {
+  EXPECT_TRUE(Rational(8, 4).is_integer());
+  EXPECT_FALSE(Rational(8, 3).is_integer());
+}
+
+TEST(Rational, ReciprocalAndAbs) {
+  EXPECT_EQ(Rational(3, 4).reciprocal(), Rational(4, 3));
+  EXPECT_EQ(Rational(-3, 4).reciprocal(), Rational(-4, 3));
+  EXPECT_EQ(Rational(-3, 4).abs(), Rational(3, 4));
+  EXPECT_EQ(Rational(3, 4).abs(), Rational(3, 4));
+}
+
+TEST(Rational, ToStringFormats) {
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(-5, 3).to_string(), "-5/3");
+  EXPECT_EQ(Rational(0).to_string(), "0");
+}
+
+TEST(Rational, FromStringInteger) {
+  EXPECT_EQ(Rational::from_string("42"), Rational(42));
+  EXPECT_EQ(Rational::from_string("-17"), Rational(-17));
+}
+
+TEST(Rational, FromStringFraction) {
+  EXPECT_EQ(Rational::from_string("22/7"), Rational(22, 7));
+  EXPECT_EQ(Rational::from_string("-6/8"), Rational(-3, 4));
+}
+
+TEST(Rational, FromStringDecimal) {
+  EXPECT_EQ(Rational::from_string("51.2"), Rational(512, 10));
+  EXPECT_EQ(Rational::from_string("0.0227"), Rational(227, 10000));
+  EXPECT_EQ(Rational::from_string("-1.5"), Rational(-3, 2));
+}
+
+TEST(Rational, FromStringRejectsGarbage) {
+  EXPECT_THROW((void)Rational::from_string(""), ContractError);
+  EXPECT_THROW((void)Rational::from_string("abc"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("1.2.3"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("1.x"), ContractError);
+}
+
+TEST(Rational, OverflowDetectedInAddition) {
+  const Rational big(std::numeric_limits<std::int64_t>::max() / 2, 1);
+  EXPECT_THROW((void)(big + big + big), OverflowError);
+}
+
+TEST(Rational, OverflowDetectedInMultiplication) {
+  const Rational big(std::numeric_limits<std::int64_t>::max() / 2, 1);
+  EXPECT_THROW((void)(big * big), OverflowError);
+}
+
+TEST(Rational, LargeIntermediatesThatCancelDoNotOverflow) {
+  // (a/b) * (b/a) = 1 even when a*b would overflow int64 only after
+  // normalization — 128-bit intermediates must absorb it.
+  const std::int64_t a = 3'037'000'499;  // ~sqrt(INT64_MAX)
+  const Rational r(a, a - 2);
+  EXPECT_EQ(r * r.reciprocal(), Rational(1));
+}
+
+TEST(Rational, MinMaxHelpers) {
+  EXPECT_EQ(min(Rational(1, 3), Rational(1, 2)), Rational(1, 3));
+  EXPECT_EQ(max(Rational(1, 3), Rational(1, 2)), Rational(1, 2));
+}
+
+TEST(Rational, UserLiteral) {
+  EXPECT_EQ(3_r, Rational(3));
+}
+
+// Property sweep: field axioms on random small rationals (exact, so the
+// identities must hold bit-for-bit).
+class RationalAxioms : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RationalAxioms, FieldIdentitiesHoldExactly) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<std::int64_t> num(-1000, 1000);
+  std::uniform_int_distribution<std::int64_t> den(1, 1000);
+  for (int i = 0; i < 200; ++i) {
+    const Rational a(num(rng), den(rng));
+    const Rational b(num(rng), den(rng));
+    const Rational c(num(rng), den(rng));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ((a + b) - b, a);
+    if (!b.is_zero()) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+    EXPECT_EQ(a + Rational(0), a);
+    EXPECT_EQ(a * Rational(1), a);
+    EXPECT_EQ(a - a, Rational(0));
+    // floor/ceil consistency.
+    EXPECT_LE(Rational(a.floor()), a);
+    EXPECT_GE(Rational(a.ceil()), a);
+    EXPECT_LE(a.ceil() - a.floor(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalAxioms,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace vrdf

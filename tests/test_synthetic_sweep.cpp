@@ -1,0 +1,123 @@
+// Property sweep over randomly generated chains: for every admissible
+// random instance, the computed capacities must pass the two-phase
+// simulation check under several quantum streams, and the structural
+// invariants of the generators must hold.  This is the library's broad
+// "theorem holds in practice" test.
+#include <gtest/gtest.h>
+
+#include "analysis/buffer_sizing.hpp"
+#include "dataflow/validation.hpp"
+#include "models/synthetic.hpp"
+#include "sim/verify.hpp"
+
+namespace vrdf {
+namespace {
+
+using analysis::ChainAnalysis;
+using models::RandomChainSpec;
+using models::SyntheticChain;
+
+class RandomChainSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(RandomChainSweep, GeneratedChainsAreValidAndAdmissible) {
+  RandomChainSpec spec;
+  spec.seed = std::get<0>(GetParam());
+  spec.source_constrained = std::get<1>(GetParam());
+  spec.length = 3 + spec.seed % 4;
+  SyntheticChain chain = models::make_random_chain(spec);
+  EXPECT_TRUE(dataflow::validate_chain_model(chain.graph).ok());
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(chain.graph, chain.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  EXPECT_EQ(analysis.pairs.size(), spec.length - 1);
+  for (const auto& pair : analysis.pairs) {
+    EXPECT_GT(pair.capacity, 0);
+    EXPECT_GE(Rational(pair.capacity) + Rational(1), pair.raw_tokens);
+  }
+}
+
+TEST_P(RandomChainSweep, ComputedCapacitiesPassSimulation) {
+  RandomChainSpec spec;
+  spec.seed = std::get<0>(GetParam());
+  spec.source_constrained = std::get<1>(GetParam());
+  spec.length = 3 + spec.seed % 3;
+  // Leave some slack so simulations converge quickly, like real systems do.
+  spec.response_fraction = Rational(3, 4);
+  SyntheticChain chain = models::make_random_chain(spec);
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(chain.graph, chain.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  analysis::apply_capacities(chain.graph, analysis);
+
+  sim::VerifyOptions options;
+  options.observe_firings = 1500;
+  for (const std::uint64_t stream_seed : {1ULL, 99ULL}) {
+    options.default_seed = stream_seed;
+    const sim::VerifyResult result =
+        sim::verify_throughput(chain.graph, chain.constraint, {}, options);
+    EXPECT_TRUE(result.ok) << "seed=" << spec.seed
+                           << " stream=" << stream_seed << ": "
+                           << result.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SinkAndSource, RandomChainSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u),
+                       ::testing::Bool()));
+
+TEST(VideoPipeline, AdmissibleAndVerified) {
+  SyntheticChain chain = models::make_video_pipeline();
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(chain.graph, chain.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  EXPECT_EQ(analysis.side, analysis::ConstraintSide::Sink);
+  ASSERT_EQ(analysis.pairs.size(), 4u);
+  analysis::apply_capacities(chain.graph, analysis);
+  sim::VerifyOptions options;
+  options.observe_firings = 500;
+  const sim::VerifyResult result =
+      sim::verify_throughput(chain.graph, chain.constraint, {}, options);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(SensorAcquisition, SourceConstrainedAdmissibleAndVerified) {
+  SyntheticChain chain = models::make_sensor_acquisition();
+  const ChainAnalysis analysis =
+      analysis::compute_buffer_capacities(chain.graph, chain.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  EXPECT_EQ(analysis.side, analysis::ConstraintSide::Source);
+  analysis::apply_capacities(chain.graph, analysis);
+  sim::VerifyOptions options;
+  options.observe_firings = 20000;  // source fires per sample, needs depth
+  const sim::VerifyResult result =
+      sim::verify_throughput(chain.graph, chain.constraint, {}, options);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(ScaledResponseTimes, FractionOneIsTight) {
+  SyntheticChain chain = models::make_video_pipeline();
+  const auto budget = analysis::max_admissible_response_times(
+      chain.graph, chain.constraint);
+  ASSERT_TRUE(budget.ok);
+  for (std::size_t i = 0; i < budget.actors_in_order.size(); ++i) {
+    EXPECT_EQ(chain.graph.actor(budget.actors_in_order[i]).response_time,
+              budget.max_response_times[i]);
+  }
+}
+
+TEST(ScaledResponseTimes, RejectsNonChain) {
+  dataflow::VrdfGraph g;
+  const auto a = g.add_actor("a", milliseconds(Rational(1)));
+  const auto b = g.add_actor("b", milliseconds(Rational(1)));
+  (void)g.add_edge(a, b, dataflow::RateSet::singleton(1),
+                   dataflow::RateSet::singleton(1));
+  EXPECT_FALSE(models::with_scaled_response_times(
+                   g, analysis::ThroughputConstraint{b, milliseconds(Rational(1))},
+                   Rational(1))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace vrdf

@@ -1,0 +1,135 @@
+// Unit tests for the task-graph model and the Sec 3.3 VRDF construction.
+#include <gtest/gtest.h>
+
+#include "dataflow/validation.hpp"
+#include "taskgraph/task_graph.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::taskgraph {
+namespace {
+
+using dataflow::RateSet;
+
+const Duration kKappa = milliseconds(Rational(2));
+
+TaskGraph three_task_chain() {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", kKappa);
+  const TaskId b = g.add_task("b", kKappa);
+  const TaskId c = g.add_task("c", kKappa);
+  (void)g.add_buffer(a, b, RateSet::singleton(3), RateSet::of({2, 3}));
+  (void)g.add_buffer(b, c, RateSet::singleton(1), RateSet::singleton(4));
+  return g;
+}
+
+TEST(TaskGraph, BasicConstruction) {
+  const TaskGraph g = three_task_chain();
+  EXPECT_EQ(g.task_count(), 3u);
+  EXPECT_EQ(g.buffer_count(), 2u);
+  EXPECT_EQ(g.task(TaskId(0)).name, "a");
+  EXPECT_EQ(g.buffer(BufferId(0)).production, RateSet::singleton(3));
+}
+
+TEST(TaskGraph, RejectsBadInputs) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", kKappa);
+  EXPECT_THROW(g.add_task("a", kKappa), ContractError);
+  EXPECT_THROW(g.add_task("", kKappa), ContractError);
+  EXPECT_THROW(g.add_task("b", Duration()), ContractError);
+  EXPECT_THROW(
+      g.add_buffer(a, a, RateSet::singleton(1), RateSet::singleton(1)),
+      ContractError);
+}
+
+TEST(TaskGraph, FindTask) {
+  const TaskGraph g = three_task_chain();
+  EXPECT_EQ(g.find_task("b"), TaskId(1));
+  EXPECT_FALSE(g.find_task("zz").has_value());
+}
+
+TEST(TaskGraph, CapacityAssignment) {
+  TaskGraph g = three_task_chain();
+  EXPECT_FALSE(g.buffer(BufferId(0)).capacity.has_value());
+  g.set_capacity(BufferId(0), 7);
+  EXPECT_EQ(g.buffer(BufferId(0)).capacity, 7);
+  EXPECT_THROW(g.set_capacity(BufferId(0), 0), ContractError);
+}
+
+TEST(TaskGraph, ChainRecognition) {
+  const TaskGraph g = three_task_chain();
+  EXPECT_TRUE(g.is_chain());
+  const auto order = g.chain_order();
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->tasks, (std::vector<TaskId>{TaskId(0), TaskId(1), TaskId(2)}));
+  EXPECT_EQ(order->buffers_in_order,
+            (std::vector<BufferId>{BufferId(0), BufferId(1)}));
+}
+
+TEST(TaskGraph, NonChainDetected) {
+  TaskGraph g;
+  const TaskId a = g.add_task("a", kKappa);
+  const TaskId b = g.add_task("b", kKappa);
+  const TaskId c = g.add_task("c", kKappa);
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(a, c, RateSet::singleton(1), RateSet::singleton(1));
+  EXPECT_FALSE(g.is_chain());
+}
+
+TEST(TaskGraph, TwoBuffersBetweenSameTasksIsNotAChain) {
+  // Sec 3.1: at most one input and one output buffer per task.
+  TaskGraph g;
+  const TaskId a = g.add_task("a", kKappa);
+  const TaskId b = g.add_task("b", kKappa);
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(a, b, RateSet::singleton(2), RateSet::singleton(2));
+  EXPECT_FALSE(g.is_chain());
+}
+
+TEST(Construction, ActorsMirrorTasks) {
+  TaskGraph g = three_task_chain();
+  const VrdfConstruction built = g.to_vrdf();
+  ASSERT_EQ(built.actor_of_task.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto task_id = TaskId(static_cast<TaskId::underlying_type>(i));
+    const dataflow::Actor& actor =
+        built.graph.actor(built.actor_of_task[i]);
+    EXPECT_EQ(actor.name, g.task(task_id).name);
+    // ρ(v) = κ(w).
+    EXPECT_EQ(actor.response_time, g.task(task_id).worst_case_response_time);
+  }
+}
+
+TEST(Construction, BuffersBecomeAntiParallelEdgePairs) {
+  TaskGraph g = three_task_chain();
+  g.set_capacity(BufferId(0), 9);
+  const VrdfConstruction built = g.to_vrdf();
+  ASSERT_EQ(built.edges_of_buffer.size(), 2u);
+
+  const dataflow::Edge& data = built.graph.edge(built.edges_of_buffer[0].data);
+  const dataflow::Edge& space = built.graph.edge(built.edges_of_buffer[0].space);
+  // π(e_ab) = ξ(b), γ(e_ab) = λ(b).
+  EXPECT_EQ(data.production, RateSet::singleton(3));
+  EXPECT_EQ(data.consumption, RateSet::of({2, 3}));
+  // π(e_ba) = λ(b), γ(e_ba) = ξ(b); δ(e_ba) = ζ(b).
+  EXPECT_EQ(space.production, RateSet::of({2, 3}));
+  EXPECT_EQ(space.consumption, RateSet::singleton(3));
+  EXPECT_EQ(space.initial_tokens, 9);
+  // Data edges start empty (buffers are initially empty, Sec 3.1).
+  EXPECT_EQ(data.initial_tokens, 0);
+  // Unset capacity maps to zero initial tokens.
+  EXPECT_EQ(built.graph.edge(built.edges_of_buffer[1].space).initial_tokens, 0);
+}
+
+TEST(Construction, ResultIsStronglyConsistentChain) {
+  TaskGraph g = three_task_chain();
+  const VrdfConstruction built = g.to_vrdf();
+  const dataflow::ValidationReport report =
+      dataflow::validate_chain_model(built.graph);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  const auto view = built.graph.chain_view();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->actors.size(), 3u);
+}
+
+}  // namespace
+}  // namespace vrdf::taskgraph
