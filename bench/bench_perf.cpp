@@ -54,7 +54,7 @@ void BM_PacingOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_PacingOnly)->Arg(8)->Arg(32);
 
-void BM_SimulatorFirings(benchmark::State& state) {
+void RunSimulatorFirings(benchmark::State& state, sim::ClockMode mode) {
   // Firings per second on the Fig 1 pair with random quanta.
   dataflow::VrdfGraph g;
   const auto a = g.add_actor("a", milliseconds(Rational(1)));
@@ -64,6 +64,7 @@ void BM_SimulatorFirings(benchmark::State& state) {
   std::int64_t fired = 0;
   for (auto _ : state) {
     sim::Simulator sim(g);
+    sim.set_clock_mode(mode);
     sim.set_default_sources(42);
     sim::StopCondition stop;
     stop.firing_target = sim::StopCondition::FiringTarget{b, 10000};
@@ -73,7 +74,17 @@ void BM_SimulatorFirings(benchmark::State& state) {
   }
   state.SetItemsProcessed(fired);
 }
+
+void BM_SimulatorFirings(benchmark::State& state) {
+  RunSimulatorFirings(state, sim::ClockMode::Auto);
+}
 BENCHMARK(BM_SimulatorFirings);
+
+void BM_SimulatorFiringsExactRational(benchmark::State& state) {
+  // The exact-Rational fallback path, for comparison with the tick clock.
+  RunSimulatorFirings(state, sim::ClockMode::ForceExactRational);
+}
+BENCHMARK(BM_SimulatorFiringsExactRational);
 
 void BM_SimulatorMp3Second(benchmark::State& state) {
   // One second of MP3 playback (44100 DAC ticks) per iteration.

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Runs the perf benchmark suite and writes machine-readable results to
+# BENCH_PR1.json, seeding the perf trajectory across PRs.
+#
+# Usage: run_bench.sh [output-dir]
+#   BENCH_BIN   path to the bench_perf binary (default: ./bench_perf)
+#   BENCH_OUT   output file name (default: BENCH_PR1.json)
+set -eu
+
+out_dir="${1:-.}"
+bin="${BENCH_BIN:-./bench_perf}"
+out="${BENCH_OUT:-BENCH_PR1.json}"
+
+if [ ! -x "$bin" ]; then
+  echo "run_bench.sh: bench binary not found at $bin" >&2
+  echo "build it first: cmake --build <build-dir> --target bench_perf" >&2
+  exit 1
+fi
+
+"$bin" --benchmark_format=json --benchmark_out="$out_dir/$out" \
+       --benchmark_out_format=json
+echo "wrote $out_dir/$out"

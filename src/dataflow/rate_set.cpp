@@ -43,20 +43,6 @@ RateSet RateSet::interval(std::int64_t lo, std::int64_t hi) {
   return RateSet(Kind::Interval, {}, lo, hi);
 }
 
-bool RateSet::contains(std::int64_t value) const {
-  if (kind_ == Kind::Interval) {
-    return value >= min_ && value <= max_;
-  }
-  return std::binary_search(values_.begin(), values_.end(), value);
-}
-
-std::size_t RateSet::size() const {
-  if (kind_ == Kind::Interval) {
-    return static_cast<std::size_t>(max_ - min_ + 1);
-  }
-  return values_.size();
-}
-
 std::vector<std::int64_t> RateSet::values() const {
   if (kind_ == Kind::Explicit) {
     return values_;

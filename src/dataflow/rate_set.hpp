@@ -13,6 +13,7 @@
 // The analysis only reads min/max; the simulator also samples members.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
@@ -42,10 +43,25 @@ public:
 
   [[nodiscard]] bool is_singleton() const { return min_ == max_; }
   [[nodiscard]] bool contains_zero() const { return min_ == 0; }
-  [[nodiscard]] bool contains(std::int64_t value) const;
+  /// Inline: the simulator validates every drawn quantum against its rate
+  /// set, so this sits on the per-firing hot path.
+  [[nodiscard]] bool contains(std::int64_t value) const {
+    if (value < min_ || value > max_) {
+      return false;
+    }
+    if (kind_ == Kind::Interval) {
+      return true;
+    }
+    return std::binary_search(values_.begin(), values_.end(), value);
+  }
 
-  /// Number of elements.
-  [[nodiscard]] std::size_t size() const;
+  /// Number of elements.  Inline: random quantum sources sample per firing.
+  [[nodiscard]] std::size_t size() const {
+    if (kind_ == Kind::Interval) {
+      return static_cast<std::size_t>(max_ - min_ + 1);
+    }
+    return values_.size();
+  }
 
   /// All elements in ascending order (intervals are enumerated).
   [[nodiscard]] std::vector<std::int64_t> values() const;

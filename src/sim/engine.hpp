@@ -1,0 +1,821 @@
+// Internal simulation engine, templated over the time representation.
+//
+// The engine logic (enabling, firing, event heap, metrics, records) is
+// written once against a Clock policy:
+//
+//  * TickClock     — time is an int64 number of ticks at a TimeScale whose
+//                    resolution is the LCM of every denominator the run can
+//                    produce.  The hot path (heap ordering, now + rho,
+//                    periodic schedules) is plain integer arithmetic.
+//  * RationalClock — time is an exact Rational of seconds; the fallback
+//                    when no int64 tick scale exists.
+//
+// Both representations are exact, so a run produces bit-for-bit identical
+// firing records, metrics and end times under either clock (the
+// tick/Rational equivalence test in tests/test_tick_clock.cpp asserts
+// this).  Rational values only appear at recording and reporting
+// boundaries (records, starvations, snapshots, metrics accessors).
+//
+// Enabling is incremental: instead of re-scanning all actors to a fixed
+// point after every event (O(actors^2) per event on chains), a dirty-actor
+// worklist is seeded by the consumers of edges whose token counts grew, by
+// finishing actors, and by woken actors.  Starting a firing consumes
+// tokens but produces none (production happens at the firing's finish), so
+// a start can never enable another actor at the same instant and one pass
+// over the worklist reaches the same fixed point the full scan did.
+//
+// This header is an implementation detail of simulator.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/checked_int.hpp"
+#include "util/error.hpp"
+#include "util/time_scale.hpp"
+
+namespace vrdf::sim::detail {
+
+struct RationalClock {
+  using Time = Rational;
+  static constexpr bool kIsTick = false;
+
+  [[nodiscard]] Rational to_rational(const Time& t) const { return t; }
+  [[nodiscard]] Time from_rational(const Rational& r) const { return r; }
+  [[nodiscard]] static Time add(const Time& a, const Time& b) { return a + b; }
+  [[nodiscard]] static Time sub(const Time& a, const Time& b) { return a - b; }
+  [[nodiscard]] static Time mul_int(const Time& a, std::int64_t k) {
+    return a * Rational(k);
+  }
+};
+
+struct TickClock {
+  using Time = std::int64_t;
+  static constexpr bool kIsTick = true;
+
+  TimeScale scale;
+
+  [[nodiscard]] Rational to_rational(Time t) const { return scale.to_rational(t); }
+  [[nodiscard]] Time from_rational(const Rational& r) const {
+    return scale.to_ticks(r);
+  }
+  [[nodiscard]] static Time add(Time a, Time b) { return checked_add(a, b); }
+  [[nodiscard]] static Time sub(Time a, Time b) { return checked_sub(a, b); }
+  [[nodiscard]] static Time mul_int(Time a, std::int64_t k) {
+    return checked_mul(a, k);
+  }
+};
+
+/// A live port: the staged PortConfig with its installed quantum stream.
+/// Shared across clock instantiations so an engine conversion can move
+/// ports (and their stream positions) wholesale.
+struct Port {
+  dataflow::EdgeId in_edge;   // consumed from at start (may be invalid)
+  dataflow::EdgeId out_edge;  // produced onto at finish (may be invalid)
+  std::unique_ptr<QuantumSource> source;
+  /// The rate set governing this port: production set of the out edge
+  /// (equals the consumption set of the in edge for buffer ports).  Cached
+  /// so the per-firing quantum validation skips the graph lookup.
+  const dataflow::RateSet* rate_set = nullptr;
+  /// Set when fill_default_sources installed a constant source for a
+  /// singleton rate set: the draw can skip the virtual stream call (a
+  /// constant source is stateless and its value is in-set by construction).
+  bool constant = false;
+  /// Set for any default-installed source: it samples the governing rate
+  /// set directly, so its values are in-set by construction and the
+  /// per-draw validation can be skipped.
+  bool trusted = false;
+  std::int64_t constant_quantum = 0;
+};
+
+enum class EventKind : std::uint8_t { FiringFinish, Wakeup };
+
+/// The response-time jitter grid of set_response_time_jitter expressed as
+/// base + step * s for s in [0, 1024]:  base = rho * min_fraction and
+/// step = rho * (1 - min_fraction) / 1024, so that every grid point is a
+/// linear combination with integer coefficients (which a tick scale can
+/// represent exactly).
+struct JitterGrid {
+  Rational base;
+  Rational step;
+};
+
+[[nodiscard]] inline JitterGrid jitter_grid(const Rational& rho_seconds,
+                                            const Rational& min_fraction) {
+  return JitterGrid{rho_seconds * min_fraction,
+                    rho_seconds * (Rational(1) - min_fraction) / Rational(1024)};
+}
+
+template <class Clock>
+class Engine {
+public:
+  using Time = typename Clock::Time;
+
+  template <class>
+  friend class Engine;
+
+  Engine(const dataflow::VrdfGraph& graph, SimConfig&& config, Clock clock)
+      : graph_(&graph), clock_(std::move(clock)) {
+    const std::size_t n_actors = graph.actor_count();
+    const std::size_t n_edges = graph.edge_count();
+    actors_.resize(n_actors);
+    edges_.resize(n_edges);
+    edge_target_.resize(n_edges);
+    actor_metrics_.resize(n_actors);
+    actor_times_.resize(n_actors);
+    firing_records_.resize(n_actors);
+    production_records_.resize(n_edges);
+    consumption_records_.resize(n_edges);
+    transfer_recording_ = std::move(config.transfer_recording);
+    transfer_caps_ = std::move(config.transfer_caps);
+    worklist_.reserve(n_actors);
+    heap_.reserve(2 * n_actors + 64);
+
+    for (const dataflow::EdgeId e : graph.edges()) {
+      edges_[e.index()].tokens = graph.edge(e).initial_tokens;
+      edges_[e.index()].max_tokens = edges_[e.index()].tokens;
+      edges_[e.index()].min_tokens = edges_[e.index()].tokens;
+      edge_target_[e.index()] = graph.edge(e).target;
+    }
+
+    for (std::size_t i = 0; i < n_actors; ++i) {
+      ActorConfig& cfg = config.actors[i];
+      ActorState& state = actors_[i];
+      state.ports.reserve(cfg.ports.size());
+      for (PortConfig& p : cfg.ports) {
+        const dataflow::RateSet* set =
+            p.out_edge.is_valid() ? &graph.edge(p.out_edge).production
+                                  : &graph.edge(p.in_edge).consumption;
+        state.ports.push_back(Port{p.in_edge, p.out_edge, std::move(p.source),
+                                   set, p.constant, p.trusted,
+                                   p.constant ? set->max() : 0});
+      }
+      state.pending_quanta.resize(state.ports.size());
+      state.active_quanta.resize(state.ports.size());
+      const dataflow::ActorId id(
+          static_cast<dataflow::ActorId::underlying_type>(i));
+      state.rho = clock_.from_rational(graph.actor(id).response_time.seconds());
+      apply_mode(state, cfg.mode);
+      if (cfg.jitter_enabled) {
+        apply_jitter(state, id, cfg.jitter_min_fraction, cfg.jitter_seed_state);
+      }
+      for (const auto& [index, delay] : cfg.release_delays) {
+        state.release_delays.emplace(index, clock_.from_rational(delay));
+      }
+      state.has_release_delays = !state.release_delays.empty();
+      state.record = cfg.record;
+      state.record_cap = cfg.record_cap;
+    }
+  }
+
+  /// Exact conversion from an engine running under another clock; used to
+  /// fall back from ticks to rationals mid-life.  Sources are moved, so
+  /// `other` must be discarded afterwards.
+  template <class FromClock>
+  Engine(Engine<FromClock>&& other, Clock clock)
+      : graph_(other.graph_), clock_(std::move(clock)) {
+    const auto cv = [&](const typename FromClock::Time& t) {
+      return clock_.from_rational(other.clock_.to_rational(t));
+    };
+    const auto cv_opt = [&](const std::optional<typename FromClock::Time>& t) {
+      return t.has_value() ? std::optional<Time>(cv(*t)) : std::nullopt;
+    };
+
+    now_ = cv(other.now_);
+    next_seq_ = other.next_seq_;
+    total_firings_ = other.total_firings_;
+    heap_.reserve(other.heap_.capacity());
+    for (const auto& e : other.heap_) {
+      heap_.push_back(Event{cv(e.time), e.seq, e.kind, e.actor});
+    }
+    // The heap property is preserved: cv is strictly monotone.
+    edges_ = other.edges_;
+    edge_target_ = other.edge_target_;
+    actor_metrics_ = other.actor_metrics_;
+    firing_records_ = std::move(other.firing_records_);
+    production_records_ = std::move(other.production_records_);
+    consumption_records_ = std::move(other.consumption_records_);
+    transfer_recording_ = std::move(other.transfer_recording_);
+    transfer_caps_ = std::move(other.transfer_caps_);
+    starvations_ = std::move(other.starvations_);
+
+    actor_times_.resize(other.actor_times_.size());
+    for (std::size_t i = 0; i < other.actor_times_.size(); ++i) {
+      actor_times_[i].first_start = cv_opt(other.actor_times_[i].first_start);
+      actor_times_[i].last_start = cv_opt(other.actor_times_[i].last_start);
+      actor_times_[i].max_lateness = cv_opt(other.actor_times_[i].max_lateness);
+    }
+
+    actors_.resize(other.actors_.size());
+    worklist_.reserve(actors_.size());
+    for (std::size_t i = 0; i < other.actors_.size(); ++i) {
+      auto& src = other.actors_[i];
+      ActorState& dst = actors_[i];
+      dst.ports = std::move(src.ports);
+      dst.mode_kind = src.mode_kind;
+      dst.mode_offset = cv(src.mode_offset);
+      dst.mode_period = cv(src.mode_period);
+      dst.rho = cv(src.rho);
+      dst.jitter_enabled = src.jitter_enabled;
+      if (src.jitter_enabled) {
+        dst.jitter_base = cv(src.jitter_base);
+        dst.jitter_step = cv(src.jitter_step);
+      }
+      dst.jitter_state = src.jitter_state;
+      dst.jitter_min_fraction = src.jitter_min_fraction;
+      for (const auto& [index, delay] : src.release_delays) {
+        dst.release_delays.emplace(index, cv(delay));
+      }
+      dst.has_release_delays = src.has_release_delays;
+      dst.record = src.record;
+      dst.record_cap = src.record_cap;
+      dst.busy = src.busy;
+      dst.quanta_drawn = src.quanta_drawn;
+      dst.started = src.started;
+      dst.finished = src.finished;
+      dst.pending_quanta = std::move(src.pending_quanta);
+      dst.active_quanta = std::move(src.active_quanta);
+      dst.active_start = cv(src.active_start);
+      dst.active_finish = cv(src.active_finish);
+      dst.last_start = cv_opt(src.last_start);
+      dst.release_not_before = cv_opt(src.release_not_before);
+      dst.scheduled_wakeup = cv_opt(src.scheduled_wakeup);
+      dst.open_starvation = src.open_starvation;
+    }
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = default;
+
+  [[nodiscard]] const Clock& clock() const { return clock_; }
+
+  // ------------------------------------------------------------- config
+  void set_actor_mode(dataflow::ActorId actor, const ActorMode& mode) {
+    ActorState& state = actors_[actor.index()];
+    apply_mode(state, mode);
+    if (mode.kind == ActorMode::Kind::RateLimited) {
+      // The gate measures against the previous start even when the mode is
+      // switched on mid-life; start_firing only maintains last_start while
+      // rate-limited, so seed it from the metrics copy.
+      state.last_start = actor_times_[actor.index()].last_start;
+    }
+  }
+
+  void set_quantum_source(dataflow::ActorId actor, dataflow::EdgeId edge,
+                          std::unique_ptr<QuantumSource> source) {
+    // An invalid id must not match a bare port's unused EdgeId::invalid()
+    // half below.
+    VRDF_REQUIRE(edge.is_valid() && edge.index() < edges_.size(),
+                 "edge id out of range");
+    for (Port& port : actors_[actor.index()].ports) {
+      if (port.in_edge == edge || port.out_edge == edge) {
+        port.source = std::move(source);
+        port.constant = false;
+        port.trusted = false;
+        return;
+      }
+    }
+    const dataflow::Edge& named = graph_->edge(edge);
+    std::ostringstream os;
+    os << "actor '" << graph_->actor(actor).name << "' has no port on edge "
+       << graph_->actor(named.source).name << " -> "
+       << graph_->actor(named.target).name;
+    throw ContractError(os.str());
+  }
+
+  void fill_default_sources(std::uint64_t seed) {
+    std::uint64_t salt = 0;
+    for (ActorState& state : actors_) {
+      for (Port& port : state.ports) {
+        ++salt;
+        if (port.source != nullptr) {
+          continue;
+        }
+        const dataflow::RateSet& set = *port.rate_set;
+        if (set.is_singleton()) {
+          port.source = constant_source(set.max());
+          port.constant = true;
+          port.constant_quantum = set.max();
+        } else {
+          port.source =
+              uniform_random_source(set, seed * 0x9E3779B97F4A7C15ULL + salt);
+        }
+        port.trusted = true;
+      }
+    }
+  }
+
+  void inject_release_delay(dataflow::ActorId actor, std::int64_t firing_index,
+                            const Rational& delay_seconds) {
+    ActorState& state = actors_[actor.index()];
+    state.release_delays[firing_index] = clock_.from_rational(delay_seconds);
+    state.has_release_delays = true;
+  }
+
+  void set_response_time_jitter(dataflow::ActorId actor,
+                                const Rational& min_fraction,
+                                std::uint64_t seed_state) {
+    apply_jitter(actors_[actor.index()], actor, min_fraction, seed_state);
+  }
+
+  void record_firings(dataflow::ActorId actor, std::size_t max_records) {
+    actors_[actor.index()].record = true;
+    actors_[actor.index()].record_cap = max_records;
+  }
+
+  void record_transfers(dataflow::EdgeId edge, std::size_t max_records) {
+    transfer_recording_[edge.index()] = 1;
+    transfer_caps_[edge.index()] = max_records;
+  }
+
+  // --------------------------------------------------------------- run
+  RunResult run(const StopCondition& stop) {
+    std::optional<Time> until;
+    if (stop.until_time.has_value()) {
+      until = clock_.from_rational(stop.until_time->seconds());
+    }
+    // Config may have changed since the last run; rescan everything once.
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      mark_dirty(dataflow::ActorId(
+          static_cast<dataflow::ActorId::underlying_type>(i)));
+    }
+
+    RunResult result;
+    const ActorState* target_state = nullptr;
+    std::int64_t target_count = 0;
+    if (stop.firing_target.has_value()) {
+      target_state = &actors_[stop.firing_target->actor.index()];
+      target_count = stop.firing_target->count;
+    }
+    const auto target_reached = [&]() {
+      return target_state != nullptr && target_state->finished >= target_count;
+    };
+
+    while (true) {
+      // Check the firing target before the enabling pass so that the run
+      // stops at the moment the target actor's firing *finishes*, without
+      // starting fresh firings at the same instant.
+      if (target_reached()) {
+        result.reason = StopReason::ReachedFiringTarget;
+        break;
+      }
+      process_dirty();
+      if (total_firings_ >= stop.max_firings) {
+        result.reason = StopReason::EventBudgetExhausted;
+        break;
+      }
+      if (heap_.empty()) {
+        result.reason = StopReason::Deadlock;
+        break;
+      }
+      const Time next_time = heap_.front().time;
+      if (until.has_value() && *until < next_time) {
+        now_ = *until;
+        result.reason = StopReason::ReachedTimeLimit;
+        break;
+      }
+      now_ = next_time;
+      // Drain all events at this instant before the enabling pass so that
+      // simultaneous productions are all visible to it (a token produced
+      // at t is consumable at t).
+      while (!heap_.empty() && heap_.front().time == now_) {
+        std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+        const Event event = heap_.back();
+        heap_.pop_back();
+        ActorState& state = actors_[event.actor.index()];
+        if (event.kind == EventKind::FiringFinish) {
+          finish_firing(event.actor, state);
+        } else {
+          if (state.scheduled_wakeup.has_value() &&
+              *state.scheduled_wakeup == now_) {
+            state.scheduled_wakeup.reset();
+          }
+          mark_dirty(event.actor);
+        }
+      }
+    }
+
+    result.end_time = to_time_point(now_);
+    result.total_firings = total_firings_;
+    result.starvations = starvations_;
+    return result;
+  }
+
+  // --------------------------------------------------------- observers
+  [[nodiscard]] TimePoint now() const { return to_time_point(now_); }
+
+  [[nodiscard]] Simulator::StateSnapshot snapshot() const {
+    Simulator::StateSnapshot snap;
+    snap.tokens.reserve(edges_.size());
+    for (const EdgeMetrics& m : edges_) {
+      snap.tokens.push_back(m.tokens);
+    }
+    snap.remaining.reserve(actors_.size());
+    for (const ActorState& state : actors_) {
+      if (state.busy) {
+        snap.remaining.push_back(
+            clock_.to_rational(Clock::sub(state.active_finish, now_)));
+      } else {
+        snap.remaining.push_back(std::nullopt);
+      }
+    }
+    return snap;
+  }
+
+  [[nodiscard]] const EdgeMetrics& edge_metrics(dataflow::EdgeId edge) const {
+    return edges_[edge.index()];
+  }
+
+  [[nodiscard]] const ActorMetrics& actor_metrics(dataflow::ActorId actor) const {
+    // Time-valued fields are materialized on access; integer counters are
+    // maintained in place.
+    ActorMetrics& m = actor_metrics_[actor.index()];
+    const ActorTimes& t = actor_times_[actor.index()];
+    m.first_start = to_opt_time_point(t.first_start);
+    m.last_start = to_opt_time_point(t.last_start);
+    m.max_lateness_vs_period =
+        t.max_lateness.has_value()
+            ? std::optional<Duration>(Duration(clock_.to_rational(*t.max_lateness)))
+            : std::nullopt;
+    return m;
+  }
+
+  [[nodiscard]] const std::vector<FiringRecord>& firings(
+      dataflow::ActorId actor) const {
+    return firing_records_[actor.index()];
+  }
+
+  [[nodiscard]] const std::vector<EdgeTransfer>& production_events(
+      dataflow::EdgeId edge) const {
+    return production_records_[edge.index()];
+  }
+
+  [[nodiscard]] const std::vector<EdgeTransfer>& consumption_events(
+      dataflow::EdgeId edge) const {
+    return consumption_records_[edge.index()];
+  }
+
+private:
+  struct ActorState {
+    // Static (per configuration).
+    std::vector<Port> ports;
+    ActorMode::Kind mode_kind = ActorMode::Kind::SelfTimed;
+    Time mode_offset{};
+    Time mode_period{};
+    Time rho{};
+    bool jitter_enabled = false;
+    Time jitter_base{};
+    Time jitter_step{};
+    std::uint64_t jitter_state = 0;
+    Rational jitter_min_fraction;  // kept for exact clock conversion
+    bool has_release_delays = false;
+    std::unordered_map<std::int64_t, Time> release_delays;
+    bool record = false;
+    std::size_t record_cap = 0;
+    // Runtime.
+    bool busy = false;
+    bool quanta_drawn = false;
+    bool dirty = false;
+    std::int64_t started = 0;
+    std::int64_t finished = 0;
+    std::vector<std::int64_t> pending_quanta;
+    std::vector<std::int64_t> active_quanta;
+    Time active_start{};
+    Time active_finish{};
+    std::optional<Time> last_start;
+    std::optional<Time> release_not_before;
+    std::optional<Time> scheduled_wakeup;
+    std::optional<std::size_t> open_starvation;
+  };
+
+  struct ActorTimes {
+    std::optional<Time> first_start;
+    std::optional<Time> last_start;
+    std::optional<Time> max_lateness;
+  };
+
+  struct Event {
+    Time time;
+    std::uint64_t seq;
+    EventKind kind;
+    dataflow::ActorId actor;
+  };
+
+  /// std::push_heap builds a max-heap; "after" ordering yields a min-heap
+  /// on (time, seq).
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return b.time < a.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] TimePoint to_time_point(const Time& t) const {
+    return TimePoint(clock_.to_rational(t));
+  }
+
+  [[nodiscard]] std::optional<TimePoint> to_opt_time_point(
+      const std::optional<Time>& t) const {
+    return t.has_value() ? std::optional<TimePoint>(to_time_point(*t))
+                         : std::nullopt;
+  }
+
+  void apply_mode(ActorState& state, const ActorMode& mode) {
+    state.mode_kind = mode.kind;
+    if (mode.kind != ActorMode::Kind::SelfTimed) {
+      state.mode_offset = clock_.from_rational(mode.offset.seconds());
+      state.mode_period = clock_.from_rational(mode.period.seconds());
+    } else {
+      state.mode_offset = Time{};
+      state.mode_period = Time{};
+    }
+  }
+
+  void apply_jitter(ActorState& state, dataflow::ActorId actor,
+                    const Rational& min_fraction, std::uint64_t seed_state) {
+    const JitterGrid grid =
+        jitter_grid(graph_->actor(actor).response_time.seconds(), min_fraction);
+    state.jitter_enabled = true;
+    state.jitter_state = seed_state;
+    state.jitter_min_fraction = min_fraction;
+    state.jitter_base = clock_.from_rational(grid.base);
+    state.jitter_step = clock_.from_rational(grid.step);
+  }
+
+  void push_event(const Time& time, EventKind kind,
+                  dataflow::ActorId actor) {
+    heap_.push_back(Event{time, next_seq_++, kind, actor});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+  }
+
+  void mark_dirty(dataflow::ActorId actor) {
+    ActorState& state = actors_[actor.index()];
+    if (!state.dirty && !state.busy) {
+      state.dirty = true;
+      worklist_.push_back(actor);
+    }
+  }
+
+  void process_dirty() {
+    while (!worklist_.empty()) {
+      const dataflow::ActorId actor = worklist_.back();
+      worklist_.pop_back();
+      ActorState& state = actors_[actor.index()];
+      state.dirty = false;
+      try_start(actor, state);
+    }
+  }
+
+  void draw_quanta(dataflow::ActorId actor, ActorState& state) {
+    if (state.quanta_drawn) {
+      return;
+    }
+    for (std::size_t i = 0; i < state.ports.size(); ++i) {
+      Port& port = state.ports[i];
+      if (port.source == nullptr) {
+        std::ostringstream os;
+        os << "actor '" << graph_->actor(actor).name << "' port " << i
+           << " has no quantum source; call set_quantum_source or "
+              "set_default_sources";
+        throw ContractError(os.str());
+      }
+      if (port.constant) {
+        state.pending_quanta[i] = port.constant_quantum;
+        continue;
+      }
+      const std::int64_t q = port.source->next(state.started);
+      if (!port.trusted && !port.rate_set->contains(q)) {
+        std::ostringstream os;
+        os << "quantum source " << port.source->describe() << " of actor '"
+           << graph_->actor(actor).name << "' produced " << q
+           << " which is outside the rate set " << port.rate_set->to_string();
+        throw ModelError(os.str());
+      }
+      state.pending_quanta[i] = q;
+    }
+    state.quanta_drawn = true;
+  }
+
+  [[nodiscard]] bool tokens_available(const ActorState& state) const {
+    for (std::size_t i = 0; i < state.ports.size(); ++i) {
+      const Port& port = state.ports[i];
+      if (port.in_edge.is_valid() &&
+          edges_[port.in_edge.index()].tokens < state.pending_quanta[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void schedule_wakeup(dataflow::ActorId actor, ActorState& state,
+                       const Time& at) {
+    if (!state.scheduled_wakeup.has_value() || *state.scheduled_wakeup != at) {
+      state.scheduled_wakeup = at;
+      push_event(at, EventKind::Wakeup, actor);
+    }
+  }
+
+  void try_start(dataflow::ActorId actor, ActorState& state) {
+    if (state.busy) {
+      return;
+    }
+    draw_quanta(actor, state);
+    const bool have_tokens = tokens_available(state);
+
+    // Mode gating.
+    if (state.mode_kind == ActorMode::Kind::StrictlyPeriodic) {
+      const Time scheduled = Clock::add(
+          state.mode_offset, Clock::mul_int(state.mode_period, state.started));
+      if (now_ < scheduled) {
+        // Guarantee a wakeup at the activation so a miss is noticed.
+        schedule_wakeup(actor, state, scheduled);
+        return;
+      }
+      if (!have_tokens) {
+        if (!state.open_starvation.has_value()) {
+          open_starvation(actor, state, scheduled);
+        }
+        return;
+      }
+      if (scheduled < now_ && !state.open_starvation.has_value()) {
+        // Enabled only now although the activation was earlier (e.g. the
+        // previous firing finished late); count it as a late start too.
+        open_starvation(actor, state, scheduled);
+      }
+    } else {
+      if (!have_tokens) {
+        return;
+      }
+      if (state.mode_kind == ActorMode::Kind::RateLimited &&
+          state.last_start.has_value()) {
+        const Time earliest = Clock::add(*state.last_start, state.mode_period);
+        if (now_ < earliest) {
+          schedule_wakeup(actor, state, earliest);
+          return;
+        }
+      }
+    }
+
+    // Injected release delays (property checks).
+    if (state.has_release_delays) {
+      const auto delay_it = state.release_delays.find(state.started);
+      if (delay_it != state.release_delays.end() && Time{} < delay_it->second) {
+        if (!state.release_not_before.has_value()) {
+          state.release_not_before = Clock::add(now_, delay_it->second);
+          push_event(*state.release_not_before, EventKind::Wakeup, actor);
+          return;
+        }
+        if (now_ < *state.release_not_before) {
+          return;
+        }
+      }
+    }
+
+    start_firing(actor, state);
+  }
+
+  void open_starvation(dataflow::ActorId actor, ActorState& state,
+                       const Time& scheduled) {
+    state.open_starvation = starvations_.size();
+    starvations_.push_back(Starvation{actor, state.started,
+                                      to_time_point(scheduled), std::nullopt});
+    ++actor_metrics_[actor.index()].starvation_count;
+  }
+
+  void start_firing(dataflow::ActorId actor, ActorState& state) {
+    ActorMetrics& metrics = actor_metrics_[actor.index()];
+    ActorTimes& times = actor_times_[actor.index()];
+
+    for (std::size_t i = 0; i < state.ports.size(); ++i) {
+      const Port& port = state.ports[i];
+      if (port.in_edge.is_valid() && state.pending_quanta[i] > 0) {
+        remove_tokens(port.in_edge, state.pending_quanta[i]);
+      }
+    }
+    // The previous firing's quanta are dead; reuse its buffer for the next
+    // draw instead of copying.
+    std::swap(state.active_quanta, state.pending_quanta);
+    state.active_start = now_;
+    state.quanta_drawn = false;
+    if (state.has_release_delays) {
+      state.release_not_before.reset();
+    }
+    state.busy = true;
+
+    if (state.mode_kind == ActorMode::Kind::StrictlyPeriodic &&
+        state.open_starvation.has_value()) {
+      starvations_[*state.open_starvation].actual_start = to_time_point(now_);
+      state.open_starvation.reset();
+    }
+
+    ++state.started;
+    ++total_firings_;
+    if (!times.first_start.has_value()) {
+      times.first_start = now_;
+    }
+    times.last_start = now_;
+    ++metrics.firings_started;
+    if (state.mode_kind == ActorMode::Kind::RateLimited) {
+      // Only the rate-limit gate reads ActorState::last_start; metrics use
+      // the ActorTimes copy above.
+      state.last_start = now_;
+      // Lateness of firing k versus a periodic schedule anchored at the
+      // first start: start_k − (first + k·period).
+      const Time lateness = Clock::sub(
+          now_, Clock::add(*times.first_start,
+                           Clock::mul_int(state.mode_period, state.started - 1)));
+      if (!times.max_lateness.has_value() || *times.max_lateness < lateness) {
+        times.max_lateness = lateness;
+      }
+    }
+
+    Time rho = state.rho;
+    if (state.jitter_enabled) {
+      // splitmix64 step; map to a 1024-step grid over [min_fraction, 1]·ρ.
+      std::uint64_t z = (state.jitter_state += 0x9E3779B97F4A7C15ULL);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      z ^= z >> 31;
+      const std::int64_t step = static_cast<std::int64_t>(z % 1025);
+      rho = Clock::add(state.jitter_base, Clock::mul_int(state.jitter_step, step));
+    }
+    state.active_finish = Clock::add(now_, rho);
+    push_event(state.active_finish, EventKind::FiringFinish, actor);
+  }
+
+  void finish_firing(dataflow::ActorId actor, ActorState& state) {
+    for (std::size_t i = 0; i < state.ports.size(); ++i) {
+      const Port& port = state.ports[i];
+      if (port.out_edge.is_valid() && state.active_quanta[i] > 0) {
+        add_tokens(port.out_edge, state.active_quanta[i]);
+      }
+    }
+    state.busy = false;
+    ++state.finished;
+    ++actor_metrics_[actor.index()].firings_finished;
+    if (state.record &&
+        firing_records_[actor.index()].size() < state.record_cap) {
+      firing_records_[actor.index()].push_back(
+          FiringRecord{actor, state.finished - 1,
+                       to_time_point(state.active_start), to_time_point(now_)});
+    }
+    mark_dirty(actor);
+  }
+
+  void add_tokens(dataflow::EdgeId edge, std::int64_t count) {
+    EdgeMetrics& m = edges_[edge.index()];
+    m.tokens = checked_add(m.tokens, count);
+    m.produced_total = checked_add(m.produced_total, count);
+    m.max_tokens = std::max(m.max_tokens, m.tokens);
+    if (transfer_recording_[edge.index()] != 0 &&
+        production_records_[edge.index()].size() < transfer_caps_[edge.index()]) {
+      production_records_[edge.index()].push_back(
+          EdgeTransfer{m.produced_total, count, to_time_point(now_)});
+    }
+    mark_dirty(edge_target_[edge.index()]);
+  }
+
+  void remove_tokens(dataflow::EdgeId edge, std::int64_t count) {
+    EdgeMetrics& m = edges_[edge.index()];
+    m.tokens = checked_sub(m.tokens, count);
+    VRDF_REQUIRE(m.tokens >= 0, "edge token count went negative (engine bug)");
+    m.consumed_total = checked_add(m.consumed_total, count);
+    m.min_tokens = std::min(m.min_tokens, m.tokens);
+    if (transfer_recording_[edge.index()] != 0 &&
+        consumption_records_[edge.index()].size() < transfer_caps_[edge.index()]) {
+      consumption_records_[edge.index()].push_back(
+          EdgeTransfer{m.consumed_total, count, to_time_point(now_)});
+    }
+  }
+
+  const dataflow::VrdfGraph* graph_;
+  Clock clock_;
+  Time now_{};
+  std::uint64_t next_seq_ = 0;
+  std::vector<Event> heap_;  // binary heap via std::push_heap (min-heap)
+  std::vector<ActorState> actors_;
+  std::vector<dataflow::ActorId> worklist_;
+  std::vector<EdgeMetrics> edges_;
+  std::vector<dataflow::ActorId> edge_target_;
+  mutable std::vector<ActorMetrics> actor_metrics_;
+  std::vector<ActorTimes> actor_times_;
+  std::vector<std::vector<FiringRecord>> firing_records_;
+  std::vector<std::vector<EdgeTransfer>> production_records_;
+  std::vector<std::vector<EdgeTransfer>> consumption_records_;
+  std::vector<char> transfer_recording_;
+  std::vector<std::size_t> transfer_caps_;
+  std::vector<Starvation> starvations_;
+  std::int64_t total_firings_ = 0;
+};
+
+}  // namespace vrdf::sim::detail

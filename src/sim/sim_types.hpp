@@ -12,6 +12,18 @@
 
 namespace vrdf::sim {
 
+/// Which internal time representation the simulator uses.  Both are exact
+/// and produce identical results; the tick clock is the fast path (see
+/// docs/performance.md).
+enum class ClockMode {
+  /// Tick clock when a scale exists, exact Rational otherwise (default).
+  Auto,
+  /// Require the tick clock; throws ContractError when no scale exists.
+  ForceTickClock,
+  /// Always use exact Rational time (reference path for equivalence tests).
+  ForceExactRational,
+};
+
 /// How an actor decides when to fire.
 struct ActorMode {
   enum class Kind {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "sim/engine.hpp"
 #include "util/checked_int.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace vrdf::sim {
 
@@ -16,20 +19,15 @@ using dataflow::EdgeId;
 Simulator::Simulator(const dataflow::VrdfGraph& graph) : graph_(graph) {
   const std::size_t n_actors = graph.actor_count();
   const std::size_t n_edges = graph.edge_count();
-  actors_.resize(n_actors);
-  edges_.resize(n_edges);
-  actor_metrics_.resize(n_actors);
-  firing_records_.resize(n_actors);
-  production_records_.resize(n_edges);
-  consumption_records_.resize(n_edges);
-  transfer_recording_.assign(n_edges, 0);
-  transfer_caps_.assign(n_edges, 0);
-  scheduled_wakeup_.resize(n_actors);
-
+  config_.actors.resize(n_actors);
+  config_.transfer_recording.assign(n_edges, 0);
+  config_.transfer_caps.assign(n_edges, 0);
+  initial_actor_metrics_.resize(n_actors);
+  initial_edge_metrics_.resize(n_edges);
   for (const EdgeId e : graph.edges()) {
-    edges_[e.index()].tokens = graph.edge(e).initial_tokens;
-    edges_[e.index()].max_tokens = edges_[e.index()].tokens;
-    edges_[e.index()].min_tokens = edges_[e.index()].tokens;
+    initial_edge_metrics_[e.index()].tokens = graph.edge(e).initial_tokens;
+    initial_edge_metrics_[e.index()].max_tokens = graph.edge(e).initial_tokens;
+    initial_edge_metrics_[e.index()].min_tokens = graph.edge(e).initial_tokens;
   }
 
   // Build ports.  Buffer pairs give each endpoint one port covering both
@@ -37,8 +35,10 @@ Simulator::Simulator(const dataflow::VrdfGraph& graph) : graph_(graph) {
   std::vector<char> edge_covered(n_edges, 0);
   for (const BufferEdges& b : graph.buffers()) {
     const Edge& data = graph.edge(b.data);
-    actors_[data.source.index()].ports.push_back(Port{b.space, b.data, nullptr});
-    actors_[data.target.index()].ports.push_back(Port{b.data, b.space, nullptr});
+    config_.actors[data.source.index()].ports.push_back(
+        detail::PortConfig{b.space, b.data, nullptr});
+    config_.actors[data.target.index()].ports.push_back(
+        detail::PortConfig{b.data, b.space, nullptr});
     edge_covered[b.data.index()] = 1;
     edge_covered[b.space.index()] = 1;
   }
@@ -47,40 +47,103 @@ Simulator::Simulator(const dataflow::VrdfGraph& graph) : graph_(graph) {
       continue;
     }
     const Edge& edge = graph.edge(e);
-    actors_[edge.source.index()].ports.push_back(
-        Port{EdgeId::invalid(), e, nullptr});
-    actors_[edge.target.index()].ports.push_back(
-        Port{e, EdgeId::invalid(), nullptr});
+    config_.actors[edge.source.index()].ports.push_back(
+        detail::PortConfig{EdgeId::invalid(), e, nullptr});
+    config_.actors[edge.target.index()].ports.push_back(
+        detail::PortConfig{e, EdgeId::invalid(), nullptr});
   }
 }
 
-void Simulator::set_actor_mode(ActorId actor, ActorMode mode) {
-  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
+Simulator::~Simulator() = default;
+
+template <typename Fn>
+bool Simulator::forward_config(Fn&& fn) {
+  if (tick_ != nullptr) {
+    fn(*tick_);
+    return true;
+  }
+  if (rational_ != nullptr) {
+    fn(*rational_);
+    return true;
+  }
+  return false;
+}
+
+template <typename Fn, typename Fallback>
+decltype(auto) Simulator::dispatch(Fn&& fn, Fallback&& fallback) const {
+  if (tick_ != nullptr) {
+    return fn(*tick_);
+  }
+  if (rational_ != nullptr) {
+    return fn(*rational_);
+  }
+  return fallback();
+}
+
+void Simulator::check_actor(ActorId actor) const {
+  VRDF_REQUIRE(actor.is_valid() && actor.index() < initial_actor_metrics_.size(),
                "actor id out of range");
+}
+
+void Simulator::check_edge(EdgeId edge) const {
+  VRDF_REQUIRE(edge.is_valid() && edge.index() < initial_edge_metrics_.size(),
+               "edge id out of range");
+}
+
+void Simulator::set_clock_mode(ClockMode mode) {
+  VRDF_REQUIRE(!has_engine(),
+               "set_clock_mode must be called before the first run");
+  clock_mode_ = mode;
+}
+
+bool Simulator::using_tick_clock() const { return tick_ != nullptr; }
+
+std::optional<std::int64_t> Simulator::tick_resolution() const {
+  if (tick_ == nullptr) {
+    return std::nullopt;
+  }
+  return tick_->clock().scale.ticks_per_second();
+}
+
+void Simulator::set_actor_mode(ActorId actor, ActorMode mode) {
+  check_actor(actor);
   if (mode.kind != ActorMode::Kind::SelfTimed) {
     VRDF_REQUIRE(mode.period.is_positive(), "mode period must be positive");
   }
-  actors_[actor.index()].mode = mode;
-  if (mode.kind == ActorMode::Kind::StrictlyPeriodic) {
-    push_event(Event{mode.offset, next_seq_++, Event::Kind::Wakeup, actor});
+  if (tick_ != nullptr && mode.kind != ActorMode::Kind::SelfTimed &&
+      !(tick_->clock().scale.fits(mode.offset.seconds()) &&
+        tick_->clock().scale.fits(mode.period.seconds()))) {
+    fall_back_to_rational("actor mode not representable at the tick scale");
   }
+  if (forward_config([&](auto& e) { e.set_actor_mode(actor, mode); })) {
+    return;
+  }
+  config_.actors[actor.index()].mode = mode;
 }
 
 void Simulator::set_quantum_source(ActorId actor, EdgeId edge,
                                    std::unique_ptr<QuantumSource> source) {
-  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
-               "actor id out of range");
+  check_actor(actor);
+  check_edge(edge);
   VRDF_REQUIRE(source != nullptr, "quantum source must not be null");
-  const Edge& named = graph_.edge(edge);
+  // The lambda runs at most once, so moving `source` into it is safe.
+  if (forward_config([&](auto& e) {
+        e.set_quantum_source(actor, edge, std::move(source));
+      })) {
+    return;
+  }
   // Normalize a space edge to its data edge: ports store buffer edges as
   // (in, out) pairs, so matching either half works, but bare-edge matching
   // needs the concrete edge.
-  for (Port& port : actors_[actor.index()].ports) {
+  for (detail::PortConfig& port : config_.actors[actor.index()].ports) {
     if (port.in_edge == edge || port.out_edge == edge) {
       port.source = std::move(source);
+      port.constant = false;
+      port.trusted = false;
       return;
     }
   }
+  const Edge& named = graph_.edge(edge);
   std::ostringstream os;
   os << "actor '" << graph_.actor(actor).name << "' has no port on edge "
      << graph_.actor(named.source).name << " -> "
@@ -89,9 +152,12 @@ void Simulator::set_quantum_source(ActorId actor, EdgeId edge,
 }
 
 void Simulator::set_default_sources(std::uint64_t seed) {
+  if (forward_config([&](auto& e) { e.fill_default_sources(seed); })) {
+    return;
+  }
   std::uint64_t salt = 0;
-  for (ActorState& state : actors_) {
-    for (Port& port : state.ports) {
+  for (detail::ActorConfig& actor : config_.actors) {
+    for (detail::PortConfig& port : actor.ports) {
       ++salt;
       if (port.source != nullptr) {
         continue;
@@ -103,400 +169,251 @@ void Simulator::set_default_sources(std::uint64_t seed) {
                                    : graph_.edge(port.in_edge).consumption;
       if (set.is_singleton()) {
         port.source = constant_source(set.max());
+        port.constant = true;
       } else {
         port.source = uniform_random_source(set, seed * 0x9E3779B97F4A7C15ULL + salt);
       }
+      port.trusted = true;
     }
   }
 }
 
 void Simulator::inject_release_delay(ActorId actor, std::int64_t firing_index,
                                      Duration delay) {
-  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
-               "actor id out of range");
+  check_actor(actor);
   VRDF_REQUIRE(firing_index >= 0, "firing index must be non-negative");
   VRDF_REQUIRE(!delay.is_negative(), "release delay must be non-negative");
-  actors_[actor.index()].release_delays[firing_index] = delay;
+  if (tick_ != nullptr && !tick_->clock().scale.fits(delay.seconds())) {
+    fall_back_to_rational("release delay not representable at the tick scale");
+  }
+  if (forward_config([&](auto& e) {
+        e.inject_release_delay(actor, firing_index, delay.seconds());
+      })) {
+    return;
+  }
+  config_.actors[actor.index()].release_delays[firing_index] = delay.seconds();
 }
 
 void Simulator::set_response_time_jitter(ActorId actor, std::uint64_t seed,
                                          Rational min_fraction) {
-  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
-               "actor id out of range");
+  check_actor(actor);
   VRDF_REQUIRE(min_fraction.is_positive() && min_fraction <= Rational(1),
                "jitter fraction must be in (0, 1]");
-  ActorState& state = actors_[actor.index()];
-  state.jitter_enabled = true;
   // splitmix-style seeding keeps streams independent across actors.
-  state.jitter_state = seed * 0x9E3779B97F4A7C15ULL + actor.value() + 1;
-  state.jitter_min_fraction = min_fraction;
+  const std::uint64_t seed_state =
+      seed * 0x9E3779B97F4A7C15ULL + actor.value() + 1;
+  if (tick_ != nullptr) {
+    bool ok = true;
+    try {
+      const detail::JitterGrid grid = detail::jitter_grid(
+          graph_.actor(actor).response_time.seconds(), min_fraction);
+      ok = tick_->clock().scale.fits(grid.base) &&
+           tick_->clock().scale.fits(grid.step);
+    } catch (const OverflowError&) {
+      ok = false;
+    }
+    if (!ok) {
+      fall_back_to_rational("jitter grid not representable at the tick scale");
+    }
+  }
+  if (forward_config([&](auto& e) {
+        e.set_response_time_jitter(actor, min_fraction, seed_state);
+      })) {
+    return;
+  }
+  detail::ActorConfig& cfg = config_.actors[actor.index()];
+  cfg.jitter_enabled = true;
+  cfg.jitter_seed_state = seed_state;
+  cfg.jitter_min_fraction = min_fraction;
 }
 
 void Simulator::record_firings(ActorId actor, std::size_t max_records) {
-  VRDF_REQUIRE(actor.is_valid() && actor.index() < actors_.size(),
-               "actor id out of range");
-  actors_[actor.index()].record = true;
-  actors_[actor.index()].record_cap = max_records;
+  check_actor(actor);
+  if (forward_config([&](auto& e) { e.record_firings(actor, max_records); })) {
+    return;
+  }
+  config_.actors[actor.index()].record = true;
+  config_.actors[actor.index()].record_cap = max_records;
 }
 
 void Simulator::record_transfers(EdgeId edge, std::size_t max_records) {
-  VRDF_REQUIRE(edge.is_valid() && edge.index() < edges_.size(),
-               "edge id out of range");
-  transfer_recording_[edge.index()] = 1;
-  transfer_caps_[edge.index()] = max_records;
-}
-
-void Simulator::push_event(Event e) {
-  heap_.push_back(e);
-  std::push_heap(heap_.begin(), heap_.end(), [](const Event& a, const Event& b) {
-    // std::push_heap builds a max-heap; invert for min-heap semantics.
-    if (a.time != b.time) {
-      return a.time > b.time;
-    }
-    return a.seq > b.seq;
-  });
-}
-
-void Simulator::draw_quanta(ActorId actor) {
-  ActorState& state = actors_[actor.index()];
-  if (state.quanta_drawn) {
+  check_edge(edge);
+  if (forward_config([&](auto& e) { e.record_transfers(edge, max_records); })) {
     return;
   }
-  state.pending_quanta.resize(state.ports.size());
-  for (std::size_t i = 0; i < state.ports.size(); ++i) {
-    Port& port = state.ports[i];
-    if (port.source == nullptr) {
-      std::ostringstream os;
-      os << "actor '" << graph_.actor(actor).name
-         << "' port " << i
-         << " has no quantum source; call set_quantum_source or "
-            "set_default_sources";
-      throw ContractError(os.str());
-    }
-    const std::int64_t q = port.source->next(state.started);
-    const dataflow::RateSet& set =
-        port.out_edge.is_valid() ? graph_.edge(port.out_edge).production
-                                 : graph_.edge(port.in_edge).consumption;
-    if (!set.contains(q)) {
-      std::ostringstream os;
-      os << "quantum source " << port.source->describe() << " of actor '"
-         << graph_.actor(actor).name << "' produced " << q
-         << " which is outside the rate set " << set.to_string();
-      throw ModelError(os.str());
-    }
-    state.pending_quanta[i] = q;
-  }
-  state.quanta_drawn = true;
+  config_.transfer_recording[edge.index()] = 1;
+  config_.transfer_caps[edge.index()] = max_records;
 }
 
-bool Simulator::tokens_available(const ActorState& state) const {
-  for (std::size_t i = 0; i < state.ports.size(); ++i) {
-    const Port& port = state.ports[i];
-    if (port.in_edge.is_valid() &&
-        edges_[port.in_edge.index()].tokens < state.pending_quanta[i]) {
-      return false;
+std::optional<TimeScale> Simulator::compute_scale(
+    const StopCondition& stop) const {
+  TimeScale::Builder builder;
+  std::vector<Rational> constants;
+  const auto fold = [&](const Rational& r) {
+    builder.fold(r);
+    constants.push_back(r);
+  };
+  try {
+    for (const ActorId a : graph_.actors()) {
+      fold(graph_.actor(a).response_time.seconds());
     }
-  }
-  return true;
-}
-
-void Simulator::add_tokens(EdgeId edge, std::int64_t count) {
-  EdgeMetrics& m = edges_[edge.index()];
-  m.tokens = checked_add(m.tokens, count);
-  m.produced_total = checked_add(m.produced_total, count);
-  m.max_tokens = std::max(m.max_tokens, m.tokens);
-  if (transfer_recording_[edge.index()] != 0 &&
-      production_records_[edge.index()].size() < transfer_caps_[edge.index()]) {
-    production_records_[edge.index()].push_back(
-        EdgeTransfer{m.produced_total, count, now_});
-  }
-}
-
-void Simulator::remove_tokens(EdgeId edge, std::int64_t count) {
-  EdgeMetrics& m = edges_[edge.index()];
-  m.tokens -= count;
-  VRDF_REQUIRE(m.tokens >= 0, "edge token count went negative (engine bug)");
-  m.consumed_total = checked_add(m.consumed_total, count);
-  m.min_tokens = std::min(m.min_tokens, m.tokens);
-  if (transfer_recording_[edge.index()] != 0 &&
-      consumption_records_[edge.index()].size() < transfer_caps_[edge.index()]) {
-    consumption_records_[edge.index()].push_back(
-        EdgeTransfer{m.consumed_total, count, now_});
-  }
-}
-
-void Simulator::start_firing(ActorId actor) {
-  ActorState& state = actors_[actor.index()];
-  ActorMetrics& metrics = actor_metrics_[actor.index()];
-
-  for (std::size_t i = 0; i < state.ports.size(); ++i) {
-    const Port& port = state.ports[i];
-    if (port.in_edge.is_valid() && state.pending_quanta[i] > 0) {
-      remove_tokens(port.in_edge, state.pending_quanta[i]);
-    }
-  }
-  state.active_quanta = state.pending_quanta;
-  state.active_start = now_;
-  state.quanta_drawn = false;
-  state.release_not_before.reset();
-  state.busy = true;
-
-  // Starvation bookkeeping for periodic actors.
-  if (state.mode.kind == ActorMode::Kind::StrictlyPeriodic) {
-    if (state.open_starvation.has_value()) {
-      starvations_[*state.open_starvation].actual_start = now_;
-      state.open_starvation.reset();
-    }
-    // Guarantee a wakeup at the next activation so a miss is noticed.
-    const TimePoint next_activation =
-        state.mode.offset + state.mode.period * Rational(state.started + 1);
-    push_event(Event{next_activation, next_seq_++, Event::Kind::Wakeup, actor});
-  }
-
-  ++state.started;
-  ++total_firings_;
-  state.last_start = now_;
-  if (!metrics.first_start.has_value()) {
-    metrics.first_start = now_;
-  }
-  metrics.last_start = now_;
-  ++metrics.firings_started;
-  if (state.mode.kind == ActorMode::Kind::RateLimited) {
-    // Lateness of firing k versus a periodic schedule anchored at the
-    // first start: start_k − (first + k·period).
-    const Duration lateness =
-        now_ - (*metrics.first_start +
-                state.mode.period * Rational(state.started - 1));
-    if (!metrics.max_lateness_vs_period.has_value() ||
-        lateness > *metrics.max_lateness_vs_period) {
-      metrics.max_lateness_vs_period = lateness;
-    }
-  }
-
-  Duration rho = graph_.actor(actor).response_time;
-  if (state.jitter_enabled) {
-    // splitmix64 step; map to a 1024-step grid over [min_fraction, 1]·ρ.
-    std::uint64_t z = (state.jitter_state += 0x9E3779B97F4A7C15ULL);
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-    z ^= z >> 31;
-    const std::int64_t step = static_cast<std::int64_t>(z % 1025);
-    const Rational fraction =
-        state.jitter_min_fraction +
-        (Rational(1) - state.jitter_min_fraction) * Rational(step, 1024);
-    rho = rho * fraction;
-  }
-  state.active_finish = now_ + rho;
-  push_event(Event{now_ + rho, next_seq_++, Event::Kind::FiringFinish, actor});
-}
-
-void Simulator::finish_firing(ActorId actor) {
-  ActorState& state = actors_[actor.index()];
-  for (std::size_t i = 0; i < state.ports.size(); ++i) {
-    const Port& port = state.ports[i];
-    if (port.out_edge.is_valid() && state.active_quanta[i] > 0) {
-      add_tokens(port.out_edge, state.active_quanta[i]);
-    }
-  }
-  state.busy = false;
-  ++state.finished;
-  ++actor_metrics_[actor.index()].firings_finished;
-  if (state.record &&
-      firing_records_[actor.index()].size() < state.record_cap) {
-    firing_records_[actor.index()].push_back(
-        FiringRecord{actor, state.finished - 1, state.active_start, now_});
-  }
-}
-
-void Simulator::enabling_scan() {
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (std::size_t i = 0; i < actors_.size(); ++i) {
-      const ActorId actor(static_cast<ActorId::underlying_type>(i));
-      ActorState& state = actors_[i];
-      if (state.busy) {
-        continue;
+    for (std::size_t i = 0; i < config_.actors.size(); ++i) {
+      const detail::ActorConfig& cfg = config_.actors[i];
+      if (cfg.mode.kind != ActorMode::Kind::SelfTimed) {
+        fold(cfg.mode.offset.seconds());
+        fold(cfg.mode.period.seconds());
       }
-      draw_quanta(actor);
-      const bool have_tokens = tokens_available(state);
-
-      // Mode gating.
-      if (state.mode.kind == ActorMode::Kind::StrictlyPeriodic) {
-        const TimePoint scheduled =
-            state.mode.offset + state.mode.period * Rational(state.started);
-        if (now_ < scheduled) {
-          continue;  // wakeup already scheduled at activation time
-        }
-        if (!have_tokens) {
-          if (!state.open_starvation.has_value()) {
-            state.open_starvation = starvations_.size();
-            starvations_.push_back(
-                Starvation{actor, state.started, scheduled, std::nullopt});
-            ++actor_metrics_[i].starvation_count;
-          }
-          continue;
-        }
-        if (now_ > scheduled && !state.open_starvation.has_value()) {
-          // Enabled only now although the activation was earlier (e.g. the
-          // previous firing finished late); count it as a late start too.
-          state.open_starvation = starvations_.size();
-          starvations_.push_back(
-              Starvation{actor, state.started, scheduled, std::nullopt});
-          ++actor_metrics_[i].starvation_count;
-        }
-      } else {
-        if (!have_tokens) {
-          continue;
-        }
-        if (state.mode.kind == ActorMode::Kind::RateLimited &&
-            state.last_start.has_value()) {
-          const TimePoint earliest = *state.last_start + state.mode.period;
-          if (now_ < earliest) {
-            if (!scheduled_wakeup_[i].has_value() || *scheduled_wakeup_[i] != earliest) {
-              scheduled_wakeup_[i] = earliest;
-              push_event(Event{earliest, next_seq_++, Event::Kind::Wakeup, actor});
-            }
-            continue;
-          }
-        }
+      for (const auto& [index, delay] : cfg.release_delays) {
+        fold(delay);
       }
-
-      // Injected release delays (property checks).
-      const auto delay_it = state.release_delays.find(state.started);
-      if (delay_it != state.release_delays.end() &&
-          delay_it->second.is_positive()) {
-        if (!state.release_not_before.has_value()) {
-          state.release_not_before = now_ + delay_it->second;
-          push_event(Event{*state.release_not_before, next_seq_++,
-                           Event::Kind::Wakeup, actor});
-          continue;
-        }
-        if (now_ < *state.release_not_before) {
-          continue;
-        }
+      if (cfg.jitter_enabled) {
+        const ActorId id(static_cast<ActorId::underlying_type>(i));
+        const detail::JitterGrid grid = detail::jitter_grid(
+            graph_.actor(id).response_time.seconds(), cfg.jitter_min_fraction);
+        fold(grid.base);
+        fold(grid.step);
       }
-
-      start_firing(actor);
-      progress = true;
+    }
+    if (stop.until_time.has_value()) {
+      fold(stop.until_time->seconds());
+    }
+  } catch (const OverflowError&) {
+    return std::nullopt;
+  }
+  std::optional<TimeScale> scale = builder.build();
+  if (!scale.has_value()) {
+    return std::nullopt;
+  }
+  // The LCM can be in range while an individual constant's tick count is
+  // not (huge numerator at a fine scale); such models stay on Rational.
+  for (const Rational& r : constants) {
+    if (!scale->fits(r)) {
+      return std::nullopt;
     }
   }
+  return scale;
+}
+
+void Simulator::create_engine(const StopCondition& stop) {
+  std::optional<TimeScale> scale;
+  if (clock_mode_ != ClockMode::ForceExactRational) {
+    scale = compute_scale(stop);
+  }
+  if (clock_mode_ == ClockMode::ForceTickClock && !scale.has_value()) {
+    throw ContractError(
+        "tick clock forced but no int64 tick scale exists for this "
+        "configuration (denominator LCM overflow)");
+  }
+  if (scale.has_value()) {
+    tick_ = std::make_unique<detail::Engine<detail::TickClock>>(
+        graph_, std::move(config_), detail::TickClock{*scale});
+  } else {
+    if (clock_mode_ == ClockMode::Auto) {
+      VRDF_LOG(Info) << "simulator: no int64 tick scale for this model "
+                        "(denominator LCM overflow); using exact Rational "
+                        "time";
+    }
+    rational_ = std::make_unique<detail::Engine<detail::RationalClock>>(
+        graph_, std::move(config_), detail::RationalClock{});
+  }
+}
+
+void Simulator::fall_back_to_rational(const char* why) {
+  VRDF_REQUIRE(tick_ != nullptr, "no tick engine to fall back from");
+  VRDF_REQUIRE(clock_mode_ != ClockMode::ForceTickClock, why);
+  VRDF_LOG(Info) << "simulator: " << why << "; falling back to exact "
+                    "Rational time";
+  rational_ = std::make_unique<detail::Engine<detail::RationalClock>>(
+      std::move(*tick_), detail::RationalClock{});
+  tick_.reset();
 }
 
 RunResult Simulator::run(const StopCondition& stop) {
-  RunResult result;
-  const auto target_reached = [&]() {
-    if (!stop.firing_target.has_value()) {
-      return false;
-    }
-    const auto& t = *stop.firing_target;
-    return actors_[t.actor.index()].finished >= t.count;
-  };
-
-  while (true) {
-    // Check the firing target before the enabling scan so that the run
-    // stops at the moment the target actor's firing *finishes*, without
-    // starting fresh firings at the same instant.
-    if (target_reached()) {
-      result.reason = StopReason::ReachedFiringTarget;
-      break;
-    }
-    enabling_scan();
-    if (total_firings_ >= stop.max_firings) {
-      result.reason = StopReason::EventBudgetExhausted;
-      break;
-    }
-    if (heap_.empty()) {
-      result.reason = StopReason::Deadlock;
-      break;
-    }
-    const TimePoint next_time = heap_.front().time;
-    if (stop.until_time.has_value() && next_time > *stop.until_time) {
-      now_ = *stop.until_time;
-      result.reason = StopReason::ReachedTimeLimit;
-      break;
-    }
-    now_ = next_time;
-    // Drain all events at this instant before rescanning so that
-    // simultaneous productions are all visible to the enabling scan
-    // (a token produced at t is consumable at t).
-    while (!heap_.empty() && heap_.front().time == now_) {
-      std::pop_heap(heap_.begin(), heap_.end(),
-                    [](const Event& a, const Event& b) {
-                      if (a.time != b.time) {
-                        return a.time > b.time;
-                      }
-                      return a.seq > b.seq;
-                    });
-      const Event event = heap_.back();
-      heap_.pop_back();
-      if (event.kind == Event::Kind::FiringFinish) {
-        finish_firing(event.actor);
-      } else if (scheduled_wakeup_[event.actor.index()].has_value() &&
-                 *scheduled_wakeup_[event.actor.index()] == now_) {
-        scheduled_wakeup_[event.actor.index()].reset();
-      }
-    }
+  if (!has_engine()) {
+    create_engine(stop);
   }
-
-  result.end_time = now_;
-  result.total_firings = total_firings_;
-  result.starvations = starvations_;
-  return result;
+  if (tick_ != nullptr && stop.until_time.has_value() &&
+      !tick_->clock().scale.fits(stop.until_time->seconds())) {
+    fall_back_to_rational("stop horizon not representable at the tick scale");
+  }
+  return tick_ != nullptr ? tick_->run(stop) : rational_->run(stop);
 }
 
 Simulator::StateSnapshot Simulator::snapshot() const {
-  StateSnapshot snap;
-  snap.tokens.reserve(edges_.size());
-  for (const EdgeMetrics& m : edges_) {
-    snap.tokens.push_back(m.tokens);
-  }
-  snap.remaining.reserve(actors_.size());
-  for (const ActorState& state : actors_) {
-    if (state.busy) {
-      snap.remaining.push_back((state.active_finish - now_).seconds());
-    } else {
-      snap.remaining.push_back(std::nullopt);
-    }
-  }
-  return snap;
+  return dispatch([](const auto& e) { return e.snapshot(); },
+                  [&]() {
+                    StateSnapshot snap;
+                    snap.tokens.reserve(initial_edge_metrics_.size());
+                    for (const EdgeMetrics& m : initial_edge_metrics_) {
+                      snap.tokens.push_back(m.tokens);
+                    }
+                    snap.remaining.assign(config_.actors.size(), std::nullopt);
+                    return snap;
+                  });
 }
 
 const EdgeMetrics& Simulator::edge_metrics(EdgeId edge) const {
-  VRDF_REQUIRE(edge.is_valid() && edge.index() < edges_.size(),
-               "edge id out of range");
-  return edges_[edge.index()];
+  check_edge(edge);
+  return dispatch(
+      [&](const auto& e) -> const EdgeMetrics& { return e.edge_metrics(edge); },
+      [&]() -> const EdgeMetrics& { return initial_edge_metrics_[edge.index()]; });
 }
 
 const ActorMetrics& Simulator::actor_metrics(ActorId actor) const {
-  VRDF_REQUIRE(actor.is_valid() && actor.index() < actor_metrics_.size(),
-               "actor id out of range");
-  return actor_metrics_[actor.index()];
+  check_actor(actor);
+  return dispatch(
+      [&](const auto& e) -> const ActorMetrics& {
+        return e.actor_metrics(actor);
+      },
+      [&]() -> const ActorMetrics& {
+        return initial_actor_metrics_[actor.index()];
+      });
 }
 
+namespace {
+template <typename T>
+const std::vector<T>& empty_records() {
+  static const std::vector<T> kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
 const std::vector<FiringRecord>& Simulator::firings(ActorId actor) const {
-  VRDF_REQUIRE(actor.is_valid() && actor.index() < firing_records_.size(),
-               "actor id out of range");
-  return firing_records_[actor.index()];
+  check_actor(actor);
+  return dispatch(
+      [&](const auto& e) -> const std::vector<FiringRecord>& {
+        return e.firings(actor);
+      },
+      []() -> const std::vector<FiringRecord>& {
+        return empty_records<FiringRecord>();
+      });
 }
 
 const std::vector<EdgeTransfer>& Simulator::production_events(EdgeId edge) const {
-  VRDF_REQUIRE(edge.is_valid() && edge.index() < production_records_.size(),
-               "edge id out of range");
-  return production_records_[edge.index()];
+  check_edge(edge);
+  return dispatch(
+      [&](const auto& e) -> const std::vector<EdgeTransfer>& {
+        return e.production_events(edge);
+      },
+      []() -> const std::vector<EdgeTransfer>& {
+        return empty_records<EdgeTransfer>();
+      });
 }
 
 const std::vector<EdgeTransfer>& Simulator::consumption_events(EdgeId edge) const {
-  VRDF_REQUIRE(edge.is_valid() && edge.index() < consumption_records_.size(),
-               "edge id out of range");
-  return consumption_records_[edge.index()];
+  check_edge(edge);
+  return dispatch(
+      [&](const auto& e) -> const std::vector<EdgeTransfer>& {
+        return e.consumption_events(edge);
+      },
+      []() -> const std::vector<EdgeTransfer>& {
+        return empty_records<EdgeTransfer>();
+      });
 }
 
-bool Simulator::event_earlier(const Event& a, const Event& b) const {
-  if (a.time != b.time) {
-    return a.time < b.time;
-  }
-  return a.seq < b.seq;
+TimePoint Simulator::now() const {
+  return dispatch([](const auto& e) { return e.now(); },
+                  []() { return TimePoint(); });
 }
 
 }  // namespace vrdf::sim

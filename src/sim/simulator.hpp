@@ -7,11 +7,20 @@
 //    atomically ρ(v) later;
 //  * an actor never starts a firing before its previous firing finished;
 //  * a token produced at time t is consumable at time t (ties are resolved
-//    by processing all productions at t before the enabling scan).
+//    by processing all productions at t before the enabling pass).
 //
-// Time is exact (rational seconds); runs are fully deterministic: events
-// are ordered by (time, sequence number), the enabling scan visits actors
-// in id order, and quantum sources are deterministic streams.
+// Time is exact; runs are fully deterministic: events are ordered by
+// (time, sequence number) and quantum sources are deterministic streams.
+//
+// Internally the engine runs on an integer tick clock whenever possible:
+// before the first run it collects every rational time constant the
+// simulation can produce (response times, periods, offsets, injected
+// delays, the 1/1024 jitter grid, the stop horizon) and sets the tick
+// resolution to the LCM of their denominators, so the hot path is int64
+// arithmetic instead of rational gcd normalization.  When no such scale
+// exists (denominator LCM overflow) it falls back to exact Rational time
+// with a diagnostic; both paths produce bit-for-bit identical results.
+// See docs/performance.md.
 //
 // Buffer-paired edges share one quantum stream per endpoint: the producer
 // of a buffer draws one value q per firing and uses it both as the space
@@ -22,12 +31,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "dataflow/vrdf_graph.hpp"
 #include "sim/quantum_source.hpp"
 #include "sim/sim_types.hpp"
+#include "util/time_scale.hpp"
 
 namespace vrdf::sim {
 
@@ -47,15 +58,69 @@ struct EdgeTransfer {
   TimePoint time;
 };
 
+namespace detail {
+
+/// Staged per-port configuration (before the engine is instantiated).
+struct PortConfig {
+  dataflow::EdgeId in_edge;   // consumed from at start (may be invalid)
+  dataflow::EdgeId out_edge;  // produced onto at finish (may be invalid)
+  std::unique_ptr<QuantumSource> source;
+  /// Source was installed by set_default_sources for a singleton rate set
+  /// (lets the engine skip the virtual stream call on the draw hot path).
+  bool constant = false;
+  /// Source was installed by set_default_sources (samples the governing
+  /// rate set, so per-draw validation is redundant).
+  bool trusted = false;
+};
+
+struct ActorConfig {
+  ActorMode mode;
+  std::vector<PortConfig> ports;
+  std::unordered_map<std::int64_t, Rational> release_delays;  // seconds
+  bool jitter_enabled = false;
+  std::uint64_t jitter_seed_state = 0;
+  Rational jitter_min_fraction;
+  bool record = false;
+  std::size_t record_cap = 0;
+};
+
+/// Everything configured on a Simulator before its first run; consumed by
+/// the engine when the clock is chosen.
+struct SimConfig {
+  std::vector<ActorConfig> actors;
+  std::vector<char> transfer_recording;
+  std::vector<std::size_t> transfer_caps;
+};
+
+struct TickClock;
+struct RationalClock;
+template <class Clock>
+class Engine;
+
+}  // namespace detail
+
 class Simulator {
 public:
   /// The graph is copied conceptually: the simulator snapshots rates,
   /// response times and initial tokens at construction.  The graph object
   /// must outlive the simulator (rate sets are referenced for validation).
   explicit Simulator(const dataflow::VrdfGraph& graph);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// Selects the internal time representation.  Auto (the default) uses
+  /// the integer tick clock when a scale exists and exact rationals
+  /// otherwise; the Force modes pin one path (ForceTickClock throws
+  /// ContractError when no scale exists).  Must be called before the
+  /// first run.
+  void set_clock_mode(ClockMode mode);
+  /// True once the engine runs on the integer tick clock (false before
+  /// the first run and in the Rational fallback).
+  [[nodiscard]] bool using_tick_clock() const;
+  /// Ticks per second of the active tick clock, if any.
+  [[nodiscard]] std::optional<std::int64_t> tick_resolution() const;
 
   /// Sets the execution mode of an actor (default: self-timed).
   void set_actor_mode(dataflow::ActorId actor, ActorMode mode);
@@ -119,82 +184,41 @@ public:
   /// Token consumptions from `edge`, in time order.
   [[nodiscard]] const std::vector<EdgeTransfer>& consumption_events(
       dataflow::EdgeId edge) const;
-  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] TimePoint now() const;
 
 private:
-  struct Port {
-    dataflow::EdgeId in_edge;   // consumed from at start (may be invalid)
-    dataflow::EdgeId out_edge;  // produced onto at finish (may be invalid)
-    std::unique_ptr<QuantumSource> source;
-  };
-
-  struct ActorState {
-    ActorMode mode;
-    bool busy = false;
-    std::int64_t started = 0;
-    std::int64_t finished = 0;
-    std::vector<Port> ports;
-    /// Quanta drawn for the next firing (aligned with ports); valid when
-    /// quanta_drawn.
-    std::vector<std::int64_t> pending_quanta;
-    bool quanta_drawn = false;
-    /// Quanta, start and finish time of the in-flight firing.
-    std::vector<std::int64_t> active_quanta;
-    TimePoint active_start;
-    TimePoint active_finish;
-    /// Pending starvation record index (periodic actors that missed an
-    /// activation and have not started it yet).
-    std::optional<std::size_t> open_starvation;
-    std::optional<TimePoint> last_start;
-    /// Release gate for the pending firing once its delay elapsed.
-    std::optional<TimePoint> release_not_before;
-    std::unordered_map<std::int64_t, Duration> release_delays;
-    /// Response-time jitter (failure injection); 0 numerator == disabled.
-    std::uint64_t jitter_state = 0;
-    bool jitter_enabled = false;
-    Rational jitter_min_fraction;
-    bool record = false;
-    std::size_t record_cap = 0;
-  };
-
-  struct Event {
-    TimePoint time;
-    std::uint64_t seq;
-    enum class Kind { FiringFinish, Wakeup } kind;
-    dataflow::ActorId actor;  // FiringFinish: the actor finishing
-  };
-
-  void push_event(Event e);
-  [[nodiscard]] bool event_earlier(const Event& a, const Event& b) const;
-  void draw_quanta(dataflow::ActorId actor);
-  /// Earliest time >= now at which `actor` may start per its mode and
-  /// release delays; nullopt when the mode forbids starting yet and no
-  /// wakeup is needed (already scheduled).
-  [[nodiscard]] bool tokens_available(const ActorState& s) const;
-  void start_firing(dataflow::ActorId actor);
-  void finish_firing(dataflow::ActorId actor);
-  /// Scans for startable actors at `now_` until a fixed point; schedules
-  /// wakeups for time-gated actors.
-  void enabling_scan();
-  void add_tokens(dataflow::EdgeId edge, std::int64_t count);
-  void remove_tokens(dataflow::EdgeId edge, std::int64_t count);
+  [[nodiscard]] bool has_engine() const {
+    return tick_ != nullptr || rational_ != nullptr;
+  }
+  /// Applies `fn` to the live engine; false when none exists yet (the
+  /// caller then updates the staged config instead).  Defined in
+  /// simulator.cpp (all uses live there).
+  template <typename Fn>
+  bool forward_config(Fn&& fn);
+  /// Reads through the live engine, or `fallback` before the first run.
+  template <typename Fn, typename Fallback>
+  decltype(auto) dispatch(Fn&& fn, Fallback&& fallback) const;
+  /// Chooses the clock for the first run and instantiates the engine.
+  void create_engine(const StopCondition& stop);
+  /// LCM tick scale over every denominator the configuration can produce,
+  /// or nullopt when it overflows the cap (Rational fallback).
+  [[nodiscard]] std::optional<TimeScale> compute_scale(
+      const StopCondition& stop) const;
+  /// Moves a live tick engine onto the exact Rational clock (used when a
+  /// later stop horizon is not representable at the chosen scale).
+  void fall_back_to_rational(const char* why);
+  void check_actor(dataflow::ActorId actor) const;
+  void check_edge(dataflow::EdgeId edge) const;
 
   const dataflow::VrdfGraph& graph_;
-  TimePoint now_;
-  std::uint64_t next_seq_ = 0;
-  std::vector<Event> heap_;  // binary heap via std::push_heap (min-heap)
-  std::vector<ActorState> actors_;
-  std::vector<EdgeMetrics> edges_;
-  std::vector<ActorMetrics> actor_metrics_;
-  std::vector<std::vector<FiringRecord>> firing_records_;
-  std::vector<std::vector<EdgeTransfer>> production_records_;
-  std::vector<std::vector<EdgeTransfer>> consumption_records_;
-  std::vector<char> transfer_recording_;
-  std::vector<std::size_t> transfer_caps_;
-  std::vector<Starvation> starvations_;
-  std::int64_t total_firings_ = 0;
-  /// Wakeups already scheduled per actor (avoid duplicates).
-  std::vector<std::optional<TimePoint>> scheduled_wakeup_;
+  ClockMode clock_mode_ = ClockMode::Auto;
+  detail::SimConfig config_;  // staged until the engine exists
+  std::unique_ptr<detail::Engine<detail::TickClock>> tick_;
+  std::unique_ptr<detail::Engine<detail::RationalClock>> rational_;
+  // Pre-run answers for the metric accessors (initial token counts, zeroed
+  // actor metrics, empty record vectors).
+  std::vector<EdgeMetrics> initial_edge_metrics_;
+  std::vector<ActorMetrics> initial_actor_metrics_;
 };
 
 }  // namespace vrdf::sim

@@ -1,7 +1,7 @@
 #include "sim/steady_state.hpp"
 
-#include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -50,7 +50,11 @@ SteadyStateResult detect_steady_state(const dataflow::VrdfGraph& graph,
     std::int64_t firings;
     Rational time_seconds;
   };
-  std::map<std::string, Occurrence> seen;
+  // Keyed by the canonical snapshot encoding; hashing keeps the per-firing
+  // recurrence check O(1) in the number of observed states.  No up-front
+  // reserve: recurrences usually appear after a handful of snapshots, and
+  // the firing budget can be large.
+  std::unordered_map<std::string, Occurrence> seen;
 
   for (std::int64_t k = 1; k <= max_observed_firings; ++k) {
     StopCondition stop;

@@ -8,36 +8,11 @@ namespace {
 constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
 }  // namespace
 
-std::int64_t checked_add(std::int64_t a, std::int64_t b) {
-  std::int64_t out = 0;
-  if (__builtin_add_overflow(a, b, &out)) {
-    throw OverflowError("int64 overflow in addition");
-  }
-  return out;
+namespace detail {
+void throw_overflow(const char* op) {
+  throw OverflowError(std::string("int64 overflow in ") + op);
 }
-
-std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
-  std::int64_t out = 0;
-  if (__builtin_sub_overflow(a, b, &out)) {
-    throw OverflowError("int64 overflow in subtraction");
-  }
-  return out;
-}
-
-std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
-  std::int64_t out = 0;
-  if (__builtin_mul_overflow(a, b, &out)) {
-    throw OverflowError("int64 overflow in multiplication");
-  }
-  return out;
-}
-
-std::int64_t checked_neg(std::int64_t a) {
-  if (a == kMin) {
-    throw OverflowError("int64 overflow in negation");
-  }
-  return -a;
-}
+}  // namespace detail
 
 std::int64_t gcd64(std::int64_t a, std::int64_t b) {
   // std::gcd on int64 is fine except for INT64_MIN whose magnitude is not

@@ -132,6 +132,31 @@ Rational Rational::abs() const {
 }
 
 Rational& Rational::operator+=(const Rational& rhs) {
+  // Fast path: equal denominators need no cross products, and the gcd runs
+  // on the 64-bit sum instead of 128-bit products.  Integers (den == 1)
+  // reduce to a plain add.
+  if (den_ == rhs.den_) {
+    std::int64_t n = 0;
+    if (!__builtin_add_overflow(num_, rhs.num_, &n)) {
+      if (n == 0) {
+        num_ = 0;
+        den_ = 1;
+        return *this;
+      }
+      if (den_ == 1) {
+        num_ = n;
+        return *this;
+      }
+      if (n != kInt64Min) {
+        const std::int64_t g = gcd64(n, den_);
+        num_ = n / g;
+        den_ = den_ / g;
+        return *this;
+      }
+    }
+    // Raw sum overflowed int64: the general path may still normalize into
+    // range via the gcd.
+  }
   // a/b + c/d = (a*d + c*b) / (b*d); normalize via 128-bit intermediates.
   const Int128 n = static_cast<Int128>(num_) * rhs.den_ +
                    static_cast<Int128>(rhs.num_) * den_;
@@ -143,6 +168,26 @@ Rational& Rational::operator+=(const Rational& rhs) {
 }
 
 Rational& Rational::operator-=(const Rational& rhs) {
+  if (den_ == rhs.den_) {
+    std::int64_t n = 0;
+    if (!__builtin_sub_overflow(num_, rhs.num_, &n)) {
+      if (n == 0) {
+        num_ = 0;
+        den_ = 1;
+        return *this;
+      }
+      if (den_ == 1) {
+        num_ = n;
+        return *this;
+      }
+      if (n != kInt64Min) {
+        const std::int64_t g = gcd64(n, den_);
+        num_ = n / g;
+        den_ = den_ / g;
+        return *this;
+      }
+    }
+  }
   const Int128 n = static_cast<Int128>(num_) * rhs.den_ -
                    static_cast<Int128>(rhs.num_) * den_;
   const Int128 d = static_cast<Int128>(den_) * rhs.den_;
@@ -153,6 +198,27 @@ Rational& Rational::operator-=(const Rational& rhs) {
 }
 
 Rational& Rational::operator*=(const Rational& rhs) {
+  if (num_ == 0 || rhs.num_ == 0) {
+    num_ = 0;
+    den_ = 1;
+    return *this;
+  }
+  // Cross-reduce before multiplying: gcd(a, d) and gcd(c, b) cancel all
+  // common factors up front, so the products are already normalized and no
+  // 128-bit gcd is needed.  Denominators are positive and numerators are
+  // non-zero here; INT64_MIN is excluded because |INT64_MIN| has no int64
+  // magnitude for gcd64.
+  if (num_ != kInt64Min && rhs.num_ != kInt64Min) {
+    const std::int64_t g1 = gcd64(num_, rhs.den_);
+    const std::int64_t g2 = gcd64(rhs.num_, den_);
+    const Int128 n =
+        static_cast<Int128>(num_ / g1) * static_cast<Int128>(rhs.num_ / g2);
+    const Int128 d =
+        static_cast<Int128>(den_ / g2) * static_cast<Int128>(rhs.den_ / g1);
+    num_ = narrow_128(n, "multiplication");
+    den_ = narrow_128(d, "multiplication");
+    return *this;
+  }
   const Int128 n = static_cast<Int128>(num_) * rhs.num_;
   const Int128 d = static_cast<Int128>(den_) * rhs.den_;
   const Int128 g = n == 0 ? d : gcd_128(n, d);
@@ -163,6 +229,26 @@ Rational& Rational::operator*=(const Rational& rhs) {
 
 Rational& Rational::operator/=(const Rational& rhs) {
   VRDF_REQUIRE(rhs.num_ != 0, "rational division by zero");
+  if (num_ == 0) {
+    return *this;  // already the normalized zero
+  }
+  // a/b / (c/d) = (a*d) / (b*c); cross-reduce gcd(a, c) and gcd(d, b) so the
+  // products are coprime and need no 128-bit gcd.
+  if (num_ != kInt64Min && rhs.num_ != kInt64Min) {
+    const std::int64_t g1 = gcd64(num_, rhs.num_);
+    const std::int64_t g2 = gcd64(rhs.den_, den_);
+    Int128 n =
+        static_cast<Int128>(num_ / g1) * static_cast<Int128>(rhs.den_ / g2);
+    Int128 d =
+        static_cast<Int128>(den_ / g2) * static_cast<Int128>(rhs.num_ / g1);
+    if (d < 0) {
+      n = -n;
+      d = -d;
+    }
+    num_ = narrow_128(n, "division");
+    den_ = narrow_128(d, "division");
+    return *this;
+  }
   Int128 n = static_cast<Int128>(num_) * rhs.den_;
   Int128 d = static_cast<Int128>(den_) * rhs.num_;
   if (d < 0) {

@@ -1,0 +1,40 @@
+#include "util/time_scale.hpp"
+
+#include "util/checked_int.hpp"
+#include "util/error.hpp"
+
+namespace vrdf {
+
+std::int64_t TimeScale::to_ticks(const Rational& r) const {
+  VRDF_REQUIRE(representable(r), "rational not representable at this scale");
+  // den divides scale, so num * (scale / den) is the exact tick count.
+  return checked_mul(r.num(), scale_ / r.den());
+}
+
+void TimeScale::Builder::fold(const Rational& r) {
+  fold_denominator(r.den());
+}
+
+void TimeScale::Builder::fold_denominator(std::int64_t den) {
+  if (!valid_) {
+    return;
+  }
+  const std::int64_t g = gcd64(scale_, den);
+  // lcm = scale / g * den, with the division first so the only overflow
+  // site is the final multiplication.
+  const std::int64_t reduced = scale_ / g;
+  if (den != 0 && reduced > kMaxTicksPerSecond / den) {
+    valid_ = false;
+    return;
+  }
+  scale_ = reduced * den;
+}
+
+std::optional<TimeScale> TimeScale::Builder::build() const {
+  if (!valid_) {
+    return std::nullopt;
+  }
+  return TimeScale(scale_);
+}
+
+}  // namespace vrdf

@@ -1,0 +1,80 @@
+// Integer tick clock for the simulator hot path.
+//
+// A TimeScale is a resolution S (ticks per second) chosen as the LCM of
+// the denominators of every rational time constant a simulation can
+// produce.  With that choice every event time is an integral number of
+// ticks, so the event loop can order and add times with plain int64
+// arithmetic instead of cross-multiplying __int128 rationals and running
+// gcd normalizations.  Conversions back to Rational are exact; the scale
+// is capped so that tick values stay far from int64 saturation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rational.hpp"
+
+namespace vrdf {
+
+class TimeScale {
+public:
+  /// Largest accepted resolution.  Beyond this, tick values for moderate
+  /// horizons would approach int64 saturation and the exact Rational path
+  /// is the better representation.
+  static constexpr std::int64_t kMaxTicksPerSecond = std::int64_t{1} << 40;
+
+  /// The identity scale (1 tick == 1 second); useful as a default.
+  constexpr TimeScale() = default;
+
+  [[nodiscard]] std::int64_t ticks_per_second() const { return scale_; }
+
+  /// True when `r` is an integral number of ticks at this scale.
+  [[nodiscard]] bool representable(const Rational& r) const {
+    return scale_ % r.den() == 0;
+  }
+
+  /// True when `r` is an integral number of ticks AND that tick count fits
+  /// int64 — the condition for staying on the tick clock (representable
+  /// alone admits values whose conversion would overflow).
+  [[nodiscard]] bool fits(const Rational& r) const {
+    if (scale_ % r.den() != 0) {
+      return false;
+    }
+    std::int64_t out = 0;
+    return !__builtin_mul_overflow(r.num(), scale_ / r.den(), &out);
+  }
+
+  /// Exact conversion; requires representable(r), throws OverflowError when
+  /// the tick count does not fit int64.
+  [[nodiscard]] std::int64_t to_ticks(const Rational& r) const;
+
+  /// Exact conversion back to seconds.
+  [[nodiscard]] Rational to_rational(std::int64_t ticks) const {
+    return Rational(ticks, scale_);
+  }
+
+  /// Accumulates denominators and produces the LCM scale.  Folding a value
+  /// never throws: when the LCM leaves [1, kMaxTicksPerSecond] the builder
+  /// becomes invalid and build() returns nullopt (callers then fall back to
+  /// exact Rational time).
+  class Builder {
+  public:
+    void fold(const Rational& r);
+    void fold_denominator(std::int64_t den);
+
+    [[nodiscard]] bool valid() const { return valid_; }
+    /// The scale, or nullopt when any fold overflowed the cap.
+    [[nodiscard]] std::optional<TimeScale> build() const;
+
+  private:
+    bool valid_ = true;
+    std::int64_t scale_ = 1;
+  };
+
+private:
+  explicit constexpr TimeScale(std::int64_t scale) : scale_(scale) {}
+
+  std::int64_t scale_ = 1;
+};
+
+}  // namespace vrdf

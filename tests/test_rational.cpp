@@ -142,6 +142,107 @@ TEST(Rational, LargeIntermediatesThatCancelDoNotOverflow) {
   EXPECT_EQ(r * r.reciprocal(), Rational(1));
 }
 
+TEST(Rational, EqualDenominatorFastPathStaysNormalized) {
+  // Equal denominators take the no-cross-multiply fast path; the result
+  // must still be fully reduced.
+  EXPECT_EQ(Rational(1, 6) + Rational(1, 6), Rational(1, 3));
+  EXPECT_EQ(Rational(5, 8) - Rational(1, 8), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 4) + Rational(-1, 4), Rational(0));
+  EXPECT_EQ(Rational(7) + Rational(-3), Rational(4));
+  EXPECT_EQ(Rational(-5, 12) - Rational(7, 12), Rational(-1));
+}
+
+TEST(Rational, EqualDenominatorOverflowFallsToGeneralPath) {
+  // The raw numerator sum 2·(3k−1) overflows int64, but 3k−1 with k = 2^61
+  // is divisible by 5, so the normalized sum 2·(3k−1)/5 fits: the fast
+  // path must hand over to the 128-bit path instead of wrapping.
+  const std::int64_t k = std::int64_t{1} << 61;
+  const Rational big(3 * k - 1, 5);
+  EXPECT_EQ(big + big, Rational(2 * ((3 * k - 1) / 5)));
+  // A sum whose normalized value does not fit must still throw.
+  const Rational seven_k(7 * (k / 2) + 1, 5);
+  EXPECT_THROW((void)(seven_k + seven_k), OverflowError);
+  // And cancellation back into range must succeed exactly.
+  const Rational half_max(std::numeric_limits<std::int64_t>::max() / 2, 7);
+  EXPECT_EQ(half_max - half_max, Rational(0));
+}
+
+TEST(Rational, IntegerOperandMultiplicationFastPath) {
+  // Integer operands cross-reduce against the other side's denominator.
+  EXPECT_EQ(Rational(5, 6) * Rational(4), Rational(10, 3));
+  EXPECT_EQ(Rational(4) * Rational(5, 6), Rational(10, 3));
+  EXPECT_EQ(Rational(-9) * Rational(2, 3), Rational(-6));
+  EXPECT_EQ(Rational(5, 6) / Rational(10), Rational(1, 12));
+  EXPECT_EQ(Rational(10) / Rational(5, 6), Rational(12));
+  EXPECT_EQ(Rational(7, 4) / Rational(-7), Rational(-1, 4));
+  // Cross-reduction keeps in-range products exact even when the naive
+  // num*num product would overflow.
+  const std::int64_t a = 3'037'000'499;  // ~sqrt(INT64_MAX)
+  EXPECT_EQ(Rational(a, 3) * Rational(6, a), Rational(2));
+  EXPECT_EQ(Rational(a, 3) / Rational(a, 6), Rational(2));
+}
+
+// Differential check: the fast paths must agree bit-for-bit with the
+// reference 128-bit normalize-after-the-fact implementation.
+namespace reference {
+__extension__ typedef __int128 Int128;
+
+Int128 gcd128(Int128 a, Int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Rational normalized(Int128 n, Int128 d) {
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  const Int128 g = n == 0 ? d : gcd128(n, d);
+  return Rational(static_cast<std::int64_t>(n / g),
+                  static_cast<std::int64_t>(d / g));
+}
+}  // namespace reference
+
+TEST(Rational, FastPathsMatchReferenceArithmetic) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::int64_t> num(-100000, 100000);
+  std::uniform_int_distribution<std::int64_t> den(1, 100000);
+  std::uniform_int_distribution<int> pick(0, 3);
+  for (int i = 0; i < 5000; ++i) {
+    // Bias towards the fast-path shapes: equal denominators and integers.
+    std::int64_t db = den(rng);
+    const std::int64_t da = pick(rng) == 0 ? db : den(rng);
+    if (pick(rng) == 1) {
+      db = 1;
+    }
+    const Rational a(num(rng), da);
+    const Rational b(num(rng), db);
+    using reference::Int128;
+    EXPECT_EQ(a + b, reference::normalized(
+                         static_cast<Int128>(a.num()) * b.den() +
+                             static_cast<Int128>(b.num()) * a.den(),
+                         static_cast<Int128>(a.den()) * b.den()));
+    EXPECT_EQ(a - b, reference::normalized(
+                         static_cast<Int128>(a.num()) * b.den() -
+                             static_cast<Int128>(b.num()) * a.den(),
+                         static_cast<Int128>(a.den()) * b.den()));
+    EXPECT_EQ(a * b, reference::normalized(
+                         static_cast<Int128>(a.num()) * b.num(),
+                         static_cast<Int128>(a.den()) * b.den()));
+    if (!b.is_zero()) {
+      EXPECT_EQ(a / b, reference::normalized(
+                           static_cast<Int128>(a.num()) * b.den(),
+                           static_cast<Int128>(a.den()) * b.num()));
+    }
+  }
+}
+
 TEST(Rational, MinMaxHelpers) {
   EXPECT_EQ(min(Rational(1, 3), Rational(1, 2)), Rational(1, 3));
   EXPECT_EQ(max(Rational(1, 3), Rational(1, 2)), Rational(1, 2));

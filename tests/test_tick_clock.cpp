@@ -1,0 +1,423 @@
+// Tick-clock tests: TimeScale arithmetic, clock selection, the Rational
+// fallback, and the bit-for-bit equivalence of the tick and exact-Rational
+// simulation paths on random chains and the MP3 model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "analysis/buffer_sizing.hpp"
+#include "models/mp3.hpp"
+#include "models/synthetic.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/time_scale.hpp"
+
+namespace vrdf::sim {
+namespace {
+
+using dataflow::ActorId;
+using dataflow::BufferEdges;
+using dataflow::EdgeId;
+using dataflow::RateSet;
+using dataflow::VrdfGraph;
+
+const Duration kMs = milliseconds(Rational(1));
+
+// ---------------------------------------------------------------- TimeScale
+
+TEST(TimeScale, BuilderTakesDenominatorLcm) {
+  TimeScale::Builder builder;
+  builder.fold(Rational(1, 6));
+  builder.fold(Rational(3, 4));
+  builder.fold(Rational(5));
+  const auto scale = builder.build();
+  ASSERT_TRUE(scale.has_value());
+  EXPECT_EQ(scale->ticks_per_second(), 12);
+}
+
+TEST(TimeScale, ConversionsAreExact) {
+  TimeScale::Builder builder;
+  builder.fold(Rational(1, 44100));
+  builder.fold(Rational(3, 125));
+  const auto scale = builder.build();
+  ASSERT_TRUE(scale.has_value());
+  const Rational r(7, 125);
+  ASSERT_TRUE(scale->representable(r));
+  EXPECT_EQ(scale->to_rational(scale->to_ticks(r)), r);
+  EXPECT_FALSE(scale->representable(Rational(1, 7919)));
+}
+
+TEST(TimeScale, BuilderOverflowsToNullopt) {
+  TimeScale::Builder builder;
+  builder.fold(Rational(1, TimeScale::kMaxTicksPerSecond));
+  EXPECT_TRUE(builder.build().has_value());
+  builder.fold(Rational(1, TimeScale::kMaxTicksPerSecond - 1));  // coprime
+  EXPECT_FALSE(builder.valid());
+  EXPECT_FALSE(builder.build().has_value());
+}
+
+// --------------------------------------------------------- clock selection
+
+TEST(TickClock, SimpleModelRunsOnTicks) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kMs);
+  const ActorId b = g.add_actor("b", kMs * Rational(2));
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1), 4);
+  Simulator sim(g);
+  sim.set_clock_mode(ClockMode::ForceTickClock);
+  sim.set_default_sources(1);
+  StopCondition stop;
+  stop.firing_target = StopCondition::FiringTarget{b, 10};
+  const RunResult result = sim.run(stop);
+  EXPECT_EQ(result.reason, StopReason::ReachedFiringTarget);
+  EXPECT_TRUE(sim.using_tick_clock());
+  // Denominators: 1000 (1 ms) and 500 (2 ms) -> 1000 ticks/s.
+  EXPECT_EQ(sim.tick_resolution(), std::optional<std::int64_t>(1000));
+}
+
+TEST(TickClock, LcmOverflowFallsBackToRational) {
+  // Coprime denominators whose LCM (= 2^42 - 2^21) exceeds the 2^40 scale
+  // cap while staying comfortably inside int64 for the Rational path.
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", seconds(Rational(1, std::int64_t{1} << 21)));
+  const ActorId b =
+      g.add_actor("b", seconds(Rational(1, (std::int64_t{1} << 21) - 1)));
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1), 4);
+  StopCondition stop;
+  stop.firing_target = StopCondition::FiringTarget{b, 3};
+
+  Simulator forced(g);
+  forced.set_clock_mode(ClockMode::ForceTickClock);
+  forced.set_default_sources(1);
+  EXPECT_THROW((void)forced.run(stop), ContractError);
+
+  Simulator sim(g);
+  sim.set_default_sources(1);
+  const RunResult result = sim.run(stop);
+  EXPECT_EQ(result.reason, StopReason::ReachedFiringTarget);
+  EXPECT_FALSE(sim.using_tick_clock());
+}
+
+TEST(TickClock, UnrepresentableHorizonFallsBackMidLife) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kMs);
+  const ActorId b = g.add_actor("b", kMs);
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1), 4);
+
+  const auto run_both_phases = [&](ClockMode mode) {
+    Simulator sim(g);
+    sim.set_clock_mode(mode);
+    sim.set_default_sources(1);
+    sim.record_firings(b, 1 << 12);
+    StopCondition first;
+    first.firing_target = StopCondition::FiringTarget{b, 5};
+    (void)sim.run(first);
+    if (mode == ClockMode::Auto) {
+      EXPECT_TRUE(sim.using_tick_clock());
+    }
+    // 1/7919 s is not a whole number of ticks at 1000 ticks/s.
+    StopCondition second;
+    second.until_time = TimePoint(Rational(100, 7919));
+    const RunResult result = sim.run(second);
+    EXPECT_EQ(result.reason, StopReason::ReachedTimeLimit);
+    EXPECT_FALSE(sim.using_tick_clock());
+    EXPECT_EQ(sim.now().seconds(), Rational(100, 7919));
+    return sim.firings(b).size();
+  };
+
+  EXPECT_EQ(run_both_phases(ClockMode::Auto),
+            run_both_phases(ClockMode::ForceExactRational));
+}
+
+TEST(TickClock, OversizedConstantAtFineScaleFallsBackToRational) {
+  // The denominator LCM (2^40) is in range, but the disconnected slow
+  // actor's 2^25 s response time converts to 2^65 ticks: Auto must pick
+  // the Rational path (whose times here keep small numerators), not throw
+  // OverflowError at engine construction.
+  VrdfGraph g;
+  const ActorId a =
+      g.add_actor("a", seconds(Rational(1, TimeScale::kMaxTicksPerSecond)));
+  const ActorId b =
+      g.add_actor("b", seconds(Rational(1, TimeScale::kMaxTicksPerSecond)));
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1), 4);
+  (void)g.add_actor("slow", seconds(Rational(std::int64_t{1} << 25)));
+  Simulator sim(g);
+  sim.set_default_sources(1);
+  StopCondition stop;
+  stop.firing_target = StopCondition::FiringTarget{a, 3};
+  const RunResult result = sim.run(stop);
+  EXPECT_EQ(result.reason, StopReason::ReachedFiringTarget);
+  EXPECT_FALSE(sim.using_tick_clock());
+}
+
+TEST(TickClock, ConfigurationBetweenRunsUsesTheLiveEngine) {
+  // Regression: config setters called after the first run must forward to
+  // the engine (the staged config is consumed when the engine is built).
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kMs);
+  const ActorId b = g.add_actor("b", kMs);
+  const BufferEdges buf =
+      g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1), 4);
+  Simulator sim(g);
+  sim.set_default_sources(1);
+  StopCondition first;
+  first.firing_target = StopCondition::FiringTarget{b, 5};
+  (void)sim.run(first);
+  ASSERT_TRUE(sim.using_tick_clock());
+
+  sim.record_transfers(buf.data);
+  sim.record_firings(b);
+  sim.inject_release_delay(b, 7, kMs * Rational(2));
+  StopCondition second;
+  second.firing_target = StopCondition::FiringTarget{b, 10};
+  (void)sim.run(second);
+  EXPECT_FALSE(sim.production_events(buf.data).empty());
+  EXPECT_FALSE(sim.firings(b).empty());
+  // Firing 7 was gated by the injected 2 ms delay.
+  const auto& records = sim.firings(b);
+  const auto firing7 = std::find_if(records.begin(), records.end(),
+                                    [](const FiringRecord& r) {
+                                      return r.index == 7;
+                                    });
+  ASSERT_NE(firing7, records.end());
+  const auto firing6 = std::find_if(records.begin(), records.end(),
+                                    [](const FiringRecord& r) {
+                                      return r.index == 6;
+                                    });
+  ASSERT_NE(firing6, records.end());
+  EXPECT_GE(firing7->start - firing6->start, kMs * Rational(2));
+}
+
+TEST(TickClock, InvalidEdgeIdInSetQuantumSourceThrows) {
+  // Regression: an invalid id must not silently match the unused
+  // EdgeId::invalid() half of a bare-edge port.
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kMs);
+  const ActorId b = g.add_actor("b", kMs);
+  (void)g.add_edge(a, b, RateSet::singleton(1), RateSet::singleton(1), 4);
+  Simulator sim(g);
+  EXPECT_THROW(
+      sim.set_quantum_source(a, EdgeId::invalid(), constant_source(1)),
+      ContractError);
+}
+
+TEST(TickClock, OversizedHorizonFallsBackInsteadOfOverflowing) {
+  // An until_time whose denominator divides the scale but whose tick count
+  // does not fit int64 must take the Rational fallback, not throw.
+  VrdfGraph g;
+  const ActorId a =
+      g.add_actor("a", seconds(Rational(1, TimeScale::kMaxTicksPerSecond)));
+  const ActorId b =
+      g.add_actor("b", seconds(Rational(1, TimeScale::kMaxTicksPerSecond)));
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1), 4);
+  Simulator sim(g);
+  sim.set_default_sources(1);
+  StopCondition first;
+  first.firing_target = StopCondition::FiringTarget{b, 2};
+  (void)sim.run(first);
+  ASSERT_TRUE(sim.using_tick_clock());
+  StopCondition stop;
+  stop.until_time = TimePoint(Rational(std::int64_t{1} << 33));  // ~2^73 ticks
+  stop.max_firings = 100;
+  const RunResult result = sim.run(stop);
+  EXPECT_FALSE(sim.using_tick_clock());
+  EXPECT_EQ(result.reason, StopReason::EventBudgetExhausted);
+}
+
+// ------------------------------------------------------------- equivalence
+
+struct RunCapture {
+  std::vector<FiringRecord> firings;        // all actors, concatenated
+  std::vector<EdgeMetrics> edges;
+  std::vector<EdgeTransfer> productions;    // recorded edges only
+  std::vector<EdgeTransfer> consumptions;
+  std::vector<Starvation> starvations;
+  Rational end_seconds;
+  std::int64_t total_firings = 0;
+  Simulator::StateSnapshot snapshot;
+};
+
+void expect_equal(const RunCapture& tick, const RunCapture& rat) {
+  ASSERT_EQ(tick.firings.size(), rat.firings.size());
+  for (std::size_t i = 0; i < tick.firings.size(); ++i) {
+    EXPECT_EQ(tick.firings[i].actor, rat.firings[i].actor) << "firing " << i;
+    EXPECT_EQ(tick.firings[i].index, rat.firings[i].index) << "firing " << i;
+    EXPECT_EQ(tick.firings[i].start, rat.firings[i].start) << "firing " << i;
+    EXPECT_EQ(tick.firings[i].finish, rat.firings[i].finish) << "firing " << i;
+  }
+  ASSERT_EQ(tick.edges.size(), rat.edges.size());
+  for (std::size_t e = 0; e < tick.edges.size(); ++e) {
+    EXPECT_EQ(tick.edges[e].tokens, rat.edges[e].tokens) << "edge " << e;
+    EXPECT_EQ(tick.edges[e].max_tokens, rat.edges[e].max_tokens) << "edge " << e;
+    EXPECT_EQ(tick.edges[e].min_tokens, rat.edges[e].min_tokens) << "edge " << e;
+    EXPECT_EQ(tick.edges[e].produced_total, rat.edges[e].produced_total);
+    EXPECT_EQ(tick.edges[e].consumed_total, rat.edges[e].consumed_total);
+  }
+  ASSERT_EQ(tick.productions.size(), rat.productions.size());
+  for (std::size_t i = 0; i < tick.productions.size(); ++i) {
+    EXPECT_EQ(tick.productions[i].cumulative, rat.productions[i].cumulative);
+    EXPECT_EQ(tick.productions[i].count, rat.productions[i].count);
+    EXPECT_EQ(tick.productions[i].time, rat.productions[i].time);
+  }
+  ASSERT_EQ(tick.consumptions.size(), rat.consumptions.size());
+  for (std::size_t i = 0; i < tick.consumptions.size(); ++i) {
+    EXPECT_EQ(tick.consumptions[i].cumulative, rat.consumptions[i].cumulative);
+    EXPECT_EQ(tick.consumptions[i].count, rat.consumptions[i].count);
+    EXPECT_EQ(tick.consumptions[i].time, rat.consumptions[i].time);
+  }
+  ASSERT_EQ(tick.starvations.size(), rat.starvations.size());
+  for (std::size_t i = 0; i < tick.starvations.size(); ++i) {
+    EXPECT_EQ(tick.starvations[i].actor, rat.starvations[i].actor);
+    EXPECT_EQ(tick.starvations[i].firing, rat.starvations[i].firing);
+    EXPECT_EQ(tick.starvations[i].scheduled, rat.starvations[i].scheduled);
+    EXPECT_EQ(tick.starvations[i].actual_start, rat.starvations[i].actual_start);
+  }
+  EXPECT_EQ(tick.end_seconds, rat.end_seconds);
+  EXPECT_EQ(tick.total_firings, rat.total_firings);
+  EXPECT_EQ(tick.snapshot, rat.snapshot);
+}
+
+using Configure = std::function<void(Simulator&)>;
+
+RunCapture run_once(const VrdfGraph& graph, ClockMode mode,
+                    const Configure& configure, const StopCondition& stop,
+                    const std::vector<EdgeId>& recorded_edges,
+                    bool expect_ticks) {
+  Simulator sim(graph);
+  sim.set_clock_mode(mode);
+  if (configure) {
+    configure(sim);
+  }
+  sim.set_default_sources(7);
+  for (const ActorId a : graph.actors()) {
+    sim.record_firings(a);
+  }
+  for (const EdgeId e : recorded_edges) {
+    sim.record_transfers(e);
+  }
+  const RunResult result = sim.run(stop);
+  if (mode == ClockMode::Auto) {
+    EXPECT_EQ(sim.using_tick_clock(), expect_ticks);
+  }
+  RunCapture cap;
+  for (const ActorId a : graph.actors()) {
+    const auto& f = sim.firings(a);
+    cap.firings.insert(cap.firings.end(), f.begin(), f.end());
+  }
+  for (const EdgeId e : graph.edges()) {
+    cap.edges.push_back(sim.edge_metrics(e));
+  }
+  for (const EdgeId e : recorded_edges) {
+    const auto& p = sim.production_events(e);
+    const auto& c = sim.consumption_events(e);
+    cap.productions.insert(cap.productions.end(), p.begin(), p.end());
+    cap.consumptions.insert(cap.consumptions.end(), c.begin(), c.end());
+  }
+  cap.starvations = result.starvations;
+  cap.end_seconds = result.end_time.seconds();
+  cap.total_firings = result.total_firings;
+  cap.snapshot = sim.snapshot();
+  return cap;
+}
+
+void expect_paths_equivalent(const VrdfGraph& graph, const Configure& configure,
+                             const StopCondition& stop,
+                             const std::vector<EdgeId>& recorded_edges = {},
+                             bool expect_ticks = true) {
+  const RunCapture tick = run_once(graph, ClockMode::Auto, configure, stop,
+                                   recorded_edges, expect_ticks);
+  const RunCapture rat = run_once(graph, ClockMode::ForceExactRational,
+                                  configure, stop, recorded_edges, expect_ticks);
+  expect_equal(tick, rat);
+}
+
+TEST(TickRationalEquivalence, RandomChains) {
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    models::RandomChainSpec spec;
+    spec.seed = seed;
+    spec.length = 6;
+    spec.variable_percent = 60;
+    spec.zero_percent = 20;
+    const models::SyntheticChain chain = models::make_random_chain(spec);
+    const analysis::ChainAnalysis sized =
+        analysis::compute_buffer_capacities(chain.graph, chain.constraint);
+    ASSERT_TRUE(sized.admissible) << "seed " << seed;
+    dataflow::VrdfGraph graph = chain.graph;
+    analysis::apply_capacities(graph, sized);
+    StopCondition stop;
+    stop.firing_target =
+        StopCondition::FiringTarget{chain.constraint.actor, 300};
+    expect_paths_equivalent(graph, {}, stop);
+  }
+}
+
+TEST(TickRationalEquivalence, RandomChainWithJitterAndDelays) {
+  models::RandomChainSpec spec;
+  spec.seed = 11;
+  spec.length = 5;
+  spec.variable_percent = 50;
+  const models::SyntheticChain chain = models::make_random_chain(spec);
+  const analysis::ChainAnalysis sized =
+      analysis::compute_buffer_capacities(chain.graph, chain.constraint);
+  ASSERT_TRUE(sized.admissible);
+  dataflow::VrdfGraph graph = chain.graph;
+  analysis::apply_capacities(graph, sized);
+  const std::vector<ActorId> actors = graph.actors();
+  const Configure configure = [&](Simulator& sim) {
+    sim.set_response_time_jitter(actors[1], 99, Rational(1, 3));
+    sim.set_response_time_jitter(actors[3], 17, Rational(7, 10));
+    sim.inject_release_delay(actors[2], 4, microseconds(Rational(13, 3)));
+  };
+  StopCondition stop;
+  stop.firing_target = StopCondition::FiringTarget{chain.constraint.actor, 250};
+  expect_paths_equivalent(graph, configure, stop);
+}
+
+TEST(TickRationalEquivalence, Mp3ModelWithJitterReleaseDelayAndRecords) {
+  models::Mp3Playback app = models::make_mp3_playback();
+  const analysis::ChainAnalysis sized =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  ASSERT_TRUE(sized.admissible);
+  analysis::apply_capacities(app.graph, sized);
+  const Configure configure = [&](Simulator& sim) {
+    sim.set_response_time_jitter(app.mp3, 5, Rational(1, 2));
+    sim.inject_release_delay(app.src, 3, milliseconds(Rational(1, 7)));
+  };
+  StopCondition stop;
+  stop.firing_target = StopCondition::FiringTarget{app.dac, 5000};
+  expect_paths_equivalent(app.graph, configure, stop,
+                          {app.b2.data, app.b3.data});
+}
+
+TEST(TickRationalEquivalence, PeriodicAndRateLimitedModes) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kMs);
+  const ActorId b = g.add_actor("b", kMs);
+  const ActorId c = g.add_actor("c", kMs * Rational(1, 2));
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1), 4);
+  (void)g.add_buffer(b, c, RateSet::singleton(1), RateSet::singleton(1), 4);
+  const Configure configure = [&](Simulator& sim) {
+    // Offset 0 starves firing 0 of b; the rate limit gates c.
+    sim.set_actor_mode(b, ActorMode::strictly_periodic(TimePoint(),
+                                                       kMs * Rational(2)));
+    sim.set_actor_mode(c, ActorMode::rate_limited(kMs * Rational(3)));
+  };
+  StopCondition stop;
+  stop.firing_target = StopCondition::FiringTarget{c, 20};
+  expect_paths_equivalent(g, configure, stop);
+}
+
+TEST(TickRationalEquivalence, TimeLimitedRun) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kMs);
+  const ActorId b = g.add_actor("b", kMs * Rational(3, 7));
+  (void)g.add_buffer(a, b, RateSet::singleton(2), RateSet::of({1, 2}), 8);
+  StopCondition stop;
+  stop.until_time = TimePoint(Rational(1, 10));
+  expect_paths_equivalent(g, {}, stop);
+}
+
+}  // namespace
+}  // namespace vrdf::sim
