@@ -1,15 +1,25 @@
 #!/bin/sh
 # Runs the perf benchmark suite and writes machine-readable results to
-# BENCH_PR1.json, seeding the perf trajectory across PRs.
+# BENCH_PR<N>.json, seeding the perf trajectory across PRs.
 #
 # Usage: run_bench.sh [output-dir]
 #   BENCH_BIN   path to the bench_perf binary (default: ./bench_perf)
-#   BENCH_OUT   output file name (default: BENCH_PR1.json)
+#   BENCH_PR    PR number used in the default output name; when unset it
+#               is derived from git as <last "PR <n>:" commit> + 1, i.e.
+#               the number of the PR currently in development
+#   BENCH_OUT   output file name (default: BENCH_PR${BENCH_PR}.json)
 set -eu
 
 out_dir="${1:-.}"
 bin="${BENCH_BIN:-./bench_perf}"
-out="${BENCH_OUT:-BENCH_PR1.json}"
+
+if [ -z "${BENCH_PR:-}" ]; then
+  repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+  last_pr="$(git -C "$repo_root" log --pretty=%s 2>/dev/null |
+             sed -n 's/^PR \([0-9][0-9]*\):.*/\1/p' | head -n 1 || true)"
+  BENCH_PR=$(( ${last_pr:-0} + 1 ))
+fi
+out="${BENCH_OUT:-BENCH_PR${BENCH_PR}.json}"
 
 if [ ! -x "$bin" ]; then
   echo "run_bench.sh: bench binary not found at $bin" >&2

@@ -1,0 +1,44 @@
+// Fork-join showcase: sizes the audio/video demux-decode-sync pipeline,
+// verifies the capacities by two-phase simulation, and prints the report
+// plus an annotated DOT rendering of the sized graph.
+#include <iostream>
+
+#include "analysis/buffer_sizing.hpp"
+#include "baseline/traditional.hpp"
+#include "io/dot.hpp"
+#include "io/report.hpp"
+#include "models/synthetic.hpp"
+#include "sim/verify.hpp"
+
+int main() {
+  using namespace vrdf;
+
+  models::AvSyncPipeline app = models::make_av_sync_pipeline();
+  const analysis::GraphAnalysis sized =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  if (!sized.admissible) {
+    for (const auto& d : sized.diagnostics) {
+      std::cerr << d << '\n';
+    }
+    return 1;
+  }
+  analysis::apply_capacities(app.graph, sized);
+
+  std::cout << io::analysis_report(app.graph, app.constraint, sized) << '\n';
+
+  const baseline::TraditionalResult traditional =
+      baseline::traditional_capacities(app.graph);
+  if (traditional.ok) {
+    std::cout << "Traditional (all-max quanta) total: "
+              << traditional.total_capacity << " containers vs VRDF "
+              << sized.total_capacity << ".\n\n";
+  }
+
+  const sim::VerifyResult verdict =
+      sim::verify_throughput(app.graph, app.constraint);
+  std::cout << "verify: " << (verdict.ok ? "OK" : "FAILED") << " — "
+            << verdict.detail << "\n\n";
+
+  std::cout << io::to_dot(app.graph, app.constraint, sized);
+  return verdict.ok ? 0 : 1;
+}

@@ -140,7 +140,7 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<std::int64_t> deadlock_minima =
-      analysis::min_deadlock_free_chain_capacities(doc.graph);
+      analysis::min_deadlock_free_capacities(doc.graph);
   io::Table table({"buffer", "pi / gamma", "capacity", "deadlock-free min",
                    "phi(rate actor) ms"});
   for (std::size_t i = 0; i < result.pairs.size(); ++i) {
@@ -203,7 +203,7 @@ int main(int argc, char** argv) {
 
   if (!options.dot_path.empty()) {
     std::ofstream dot(options.dot_path);
-    dot << io::to_dot(doc.graph);
+    dot << io::to_dot(doc.graph, *doc.constraint, result);
     std::cout << "wrote " << options.dot_path << '\n';
   }
   if (!options.report_path.empty()) {

@@ -28,10 +28,10 @@ std::int64_t round_capacity(const Rational& raw, bool tight_pair,
 
 }  // namespace
 
-ChainAnalysis compute_buffer_capacities(const VrdfGraph& graph,
+GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
                                         const ThroughputConstraint& constraint,
                                         const AnalysisOptions& options) {
-  ChainAnalysis analysis;
+  GraphAnalysis analysis;
 
   PacingResult pacing = compute_pacing(graph, constraint);
   analysis.diagnostics = pacing.diagnostics;
@@ -39,6 +39,7 @@ ChainAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     return analysis;
   }
   analysis.side = pacing.side;
+  analysis.is_chain = pacing.is_chain;
   analysis.actors_in_order = pacing.actors_in_order;
   analysis.pacing = pacing.pacing;
 
@@ -62,6 +63,64 @@ ChainAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     return analysis;
   }
 
+  // Schedule alignment ω(v): the worst-case lead (sink mode) or lag
+  // (source mode) of v's constructed schedule relative to the constrained
+  // actor.  An actor shared by several paths — a fork's producer, a
+  // join's consumer — runs ONE schedule, pinned to its most demanding
+  // path; on every other incident edge the buffer must absorb the gap.
+  // Propagated as a longest path over the data DAG:
+  //   sink mode:   ω(a) = ρ(a) + max over out-edges e (ω(cons(e)) +
+  //                s_e·(π̂(e) − 1)),  ω(constrained sink) = 0;
+  //   source mode: ω(y) = max over in-edges e (ω(prod(e)) + ρ(prod(e)) +
+  //                s_e·(π̂(e) − 1)),  ω(constrained source) = 0.
+  // On a chain the max ranges over the single incident edge and
+  // ω(far) − ω(near) collapses to Eq (1)'s ρ + s·(π̂ − 1) exactly.
+  const dataflow::VrdfGraph::BufferView& view = pacing.view;
+  const auto bound_rate_of = [&](const Edge& data) {
+    return analysis.side == ConstraintSide::Sink
+               ? pacing.pacing_of(data.target) / Rational(data.consumption.max())
+               : pacing.pacing_of(data.source) / Rational(data.production.max());
+  };
+  std::vector<Duration> lead(graph.actor_count());
+  if (analysis.side == ConstraintSide::Sink) {
+    for (auto it = analysis.actors_in_order.rbegin();
+         it != analysis.actors_in_order.rend(); ++it) {
+      const dataflow::ActorId v = *it;
+      if (v == constraint.actor) {
+        continue;
+      }
+      Duration longest;
+      for (const std::size_t pos : view.out_buffers[v.index()]) {
+        const Edge& data = graph.edge(view.buffers[pos].data);
+        const Duration candidate =
+            lead[data.target.index()] +
+            bound_rate_of(data) * Rational(data.production.max() - 1);
+        if (candidate > longest) {
+          longest = candidate;
+        }
+      }
+      lead[v.index()] = graph.actor(v).response_time + longest;
+    }
+  } else {
+    for (const dataflow::ActorId v : analysis.actors_in_order) {
+      if (v == constraint.actor) {
+        continue;
+      }
+      Duration longest;
+      for (const std::size_t pos : view.in_buffers[v.index()]) {
+        const Edge& data = graph.edge(view.buffers[pos].data);
+        const Duration candidate =
+            lead[data.source.index()] +
+            graph.actor(data.source).response_time +
+            bound_rate_of(data) * Rational(data.production.max() - 1);
+        if (candidate > longest) {
+          longest = candidate;
+        }
+      }
+      lead[v.index()] = longest;
+    }
+  }
+
   analysis.pairs.reserve(pacing.buffers_in_order.size());
   for (std::size_t i = 0; i < pacing.buffers_in_order.size(); ++i) {
     const dataflow::BufferEdges buffer = pacing.buffers_in_order[i];
@@ -79,19 +138,23 @@ ChainAnalysis compute_buffer_capacities(const VrdfGraph& graph,
 
     // Bound rate s: time per token of the pair's linear bounds.
     if (analysis.side == ConstraintSide::Sink) {
-      pair.pacing_basis = analysis.pacing[i + 1];  // φ(consumer)
+      pair.pacing_basis = pacing.pacing_of(data.target);  // φ(consumer)
       pair.bound_rate = pair.pacing_basis / Rational(gamma_max);
     } else {
-      pair.pacing_basis = analysis.pacing[i];  // φ(producer)
+      pair.pacing_basis = pacing.pacing_of(data.source);  // φ(producer)
       pair.bound_rate = pair.pacing_basis / Rational(pi_max);
     }
 
-    const Duration& rho_a = graph.actor(pair.producer).response_time;
     const Duration& rho_b = graph.actor(pair.consumer).response_time;
     // Eq (1): the upper bound on data production must cover token x while
     // the lower bound on space consumption covers token x + π̂ - 1 of the
-    // same firing, consumed ρ(v_a) earlier than the production.
-    pair.delta_producer = rho_a + pair.bound_rate * Rational(pi_max - 1);
+    // same firing, consumed ρ(v_a) earlier than the production — plus, on
+    // fork-join graphs, the alignment gap to the far endpoint's actual
+    // schedule.  On a chain this is exactly ρ(v_a) + s·(π̂ − 1).
+    pair.delta_producer =
+        analysis.side == ConstraintSide::Sink
+            ? lead[pair.producer.index()] - lead[pair.consumer.index()]
+            : lead[pair.consumer.index()] - lead[pair.producer.index()];
     // Eq (2): symmetric for the consumer with its maximum quantum γ̂.
     pair.delta_consumer = rho_b + pair.bound_rate * Rational(gamma_max - 1);
     // Eq (3).
@@ -99,13 +162,13 @@ ChainAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     // Eq (4): horizontal distance between the space-edge bounds in tokens.
     pair.raw_tokens = pair.delta_total / pair.bound_rate;
     // The tight value x (without the +1) is sound exactly when the pair is
-    // static and sits at the constrained end of the chain: the constrained
+    // static and sits at the constrained end of the graph: the constrained
     // actor's transfer times are exactly periodic, so the delay slack the
     // +1 provides cannot be needed.
     const bool adjacent_to_constrained =
         analysis.side == ConstraintSide::Sink
-            ? i + 1 == pacing.buffers_in_order.size()
-            : i == 0;
+            ? data.target == constraint.actor
+            : data.source == constraint.actor;
     pair.capacity =
         round_capacity(pair.raw_tokens, pair.is_static && adjacent_to_constrained,
                        options.rounding);
@@ -118,7 +181,7 @@ ChainAnalysis compute_buffer_capacities(const VrdfGraph& graph,
   return analysis;
 }
 
-void apply_capacities(VrdfGraph& graph, const ChainAnalysis& analysis) {
+void apply_capacities(VrdfGraph& graph, const GraphAnalysis& analysis) {
   VRDF_REQUIRE(analysis.admissible,
                "cannot apply capacities of an inadmissible analysis");
   for (const PairAnalysis& pair : analysis.pairs) {

@@ -1,6 +1,10 @@
-// Buffer-capacity computation (Sec 4) — the paper's main contribution.
+// Buffer-capacity computation (Sec 4) — the paper's main contribution,
+// generalised from chains to fork-join graphs: the per-pair bound below
+// only needs the pacing of the buffer's own endpoints, so it applies to
+// every buffer edge of an acyclic topology once pacing has been
+// propagated per edge (see analysis/pacing.hpp).
 //
-// For every producer-consumer pair of a chain the algorithm:
+// For every producer-consumer pair of the graph the algorithm:
 //  1. takes the pair's bound rate s = φ/γ̂ (sink mode) or φ/π̂ (source
 //     mode) from pacing propagation;
 //  2. forms the minimum distance between the linear upper bound on space
@@ -26,29 +30,30 @@
 
 namespace vrdf::analysis {
 
-/// Computes buffer capacities for a chain-shaped VRDF graph so that the
-/// throughput constraint is satisfied for *every* admissible sequence of
-/// production/consumption quanta.  Returns an inadmissible result with
-/// diagnostics (never throws) for model-level infeasibility:
-///  * the graph is not a consistent chain of buffers;
-///  * the constrained actor is not the chain's source or sink;
+/// Computes buffer capacities for an acyclic VRDF graph (chain or
+/// fork-join) so that the throughput constraint is satisfied for *every*
+/// admissible sequence of production/consumption quanta.  Returns an
+/// inadmissible result with diagnostics (never throws) for model-level
+/// infeasibility:
+///  * the graph is not a consistent acyclic network of buffers;
+///  * the constrained actor is not the graph's unique data source or sink;
 ///  * a zero minimum quantum on the rate-determining side;
 ///  * a response time exceeding the actor's pacing, ρ(v) > φ(v)
 ///    (the producer/consumer schedule validity constraints of Sec 4.2).
-[[nodiscard]] ChainAnalysis compute_buffer_capacities(
+[[nodiscard]] GraphAnalysis compute_buffer_capacities(
     const dataflow::VrdfGraph& graph, const ThroughputConstraint& constraint,
     const AnalysisOptions& options = {});
 
 /// Writes the computed capacities into the graph: δ(space edge) of every
 /// analysed buffer is set to the pair's capacity.  Requires an admissible
 /// analysis of this very graph.
-void apply_capacities(dataflow::VrdfGraph& graph, const ChainAnalysis& analysis);
+void apply_capacities(dataflow::VrdfGraph& graph, const GraphAnalysis& analysis);
 
 /// Maximal admissible worst-case response times (the paper derives the MP3
 /// response times 51.2/24/10/0.0227 ms this way): κ(w) may be at most
 /// φ(v) for the throughput constraint to be satisfiable.  Returned in
-/// chain order together with the actor ids; inadmissible chains yield an
-/// empty vector plus diagnostics.
+/// topological order together with the actor ids; inadmissible graphs
+/// yield an empty vector plus diagnostics.
 struct ResponseTimeBudget {
   bool ok = false;
   std::vector<std::string> diagnostics;

@@ -34,14 +34,15 @@ std::int64_t min_deadlock_free_pair_capacity(
   return checked_sub(checked_add(production.max(), consumption.max()), g);
 }
 
-std::vector<std::int64_t> min_deadlock_free_chain_capacities(
+std::vector<std::int64_t> min_deadlock_free_capacities(
     const dataflow::VrdfGraph& graph) {
   const dataflow::ValidationReport validation =
-      dataflow::validate_chain_model(graph);
+      dataflow::validate_dag_model(graph);
   if (!validation.ok()) {
-    throw ModelError("not a chain of buffers: " + validation.summary());
+    throw ModelError("not an acyclic network of buffers: " +
+                     validation.summary());
   }
-  const auto view = graph.chain_view();
+  const auto view = graph.buffer_view();
   std::vector<std::int64_t> minima;
   minima.reserve(view->buffers.size());
   for (const dataflow::BufferEdges& b : view->buffers) {
@@ -50,6 +51,16 @@ std::vector<std::int64_t> min_deadlock_free_chain_capacities(
         min_deadlock_free_pair_capacity(data.production, data.consumption));
   }
   return minima;
+}
+
+std::vector<std::int64_t> min_deadlock_free_chain_capacities(
+    const dataflow::VrdfGraph& graph) {
+  const dataflow::ValidationReport validation =
+      dataflow::validate_chain_model(graph);
+  if (!validation.ok()) {
+    throw ModelError("not a chain of buffers: " + validation.summary());
+  }
+  return min_deadlock_free_capacities(graph);
 }
 
 }  // namespace vrdf::analysis

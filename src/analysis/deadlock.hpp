@@ -50,6 +50,13 @@ namespace vrdf::analysis {
 [[nodiscard]] std::int64_t min_deadlock_free_pair_capacity(
     const dataflow::RateSet& production, const dataflow::RateSet& consumption);
 
+/// The per-buffer minima for a whole acyclic graph, ordered like
+/// GraphAnalysis::pairs (producer-topological order; chain order on
+/// chains).  Throws ModelError when the graph is not a consistent acyclic
+/// network of buffers.
+[[nodiscard]] std::vector<std::int64_t> min_deadlock_free_capacities(
+    const dataflow::VrdfGraph& graph);
+
 /// The per-buffer minima for a whole chain, in chain order.  Throws
 /// ModelError when the graph is not a chain of buffers.
 [[nodiscard]] std::vector<std::int64_t> min_deadlock_free_chain_capacities(

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "dataflow/validation.hpp"
+#include "util/error.hpp"
 
 namespace vrdf::analysis {
 
@@ -16,7 +17,7 @@ PacingResult compute_pacing(const VrdfGraph& graph,
   PacingResult result;
 
   const dataflow::ValidationReport validation =
-      dataflow::validate_chain_model(graph);
+      dataflow::validate_dag_model(graph);
   if (!validation.ok()) {
     result.diagnostics = validation.errors;
     return result;
@@ -26,72 +27,174 @@ PacingResult compute_pacing(const VrdfGraph& graph,
     return result;
   }
 
-  const auto chain = graph.chain_view();
-  // validate_chain_model already guaranteed a chain.
-  result.actors_in_order = chain->actors;
-  result.buffers_in_order = chain->buffers;
+  auto view = graph.buffer_view();
+  // validate_dag_model already guaranteed an acyclic buffer network.
+  result.view = std::move(*view);
+  result.is_chain = result.view.is_chain;
+  result.actors_in_order = result.view.actors;
+  result.buffers_in_order = result.view.buffers;
+  const char* const shape = result.is_chain ? "chains" : "graphs";
 
-  const std::size_t n = result.actors_in_order.size();
-  if (constraint.actor == result.actors_in_order.back()) {
+  const bool no_out =
+      result.view.out_buffers[constraint.actor.index()].empty();
+  const bool no_in = result.view.in_buffers[constraint.actor.index()].empty();
+  if (no_out) {
     result.side = ConstraintSide::Sink;
-  } else if (constraint.actor == result.actors_in_order.front()) {
+  } else if (no_in) {
     result.side = ConstraintSide::Source;
   } else {
     std::ostringstream os;
-    os << "throughput constraint must be on the chain's source or sink; '"
-       << graph.actor(constraint.actor).name << "' is interior";
+    if (result.is_chain) {
+      os << "throughput constraint must be on the chain's source or sink; '"
+         << graph.actor(constraint.actor).name << "' is interior";
+    } else {
+      os << "throughput constraint must be on the graph's unique data source "
+            "or sink; '"
+         << graph.actor(constraint.actor).name << "' is interior";
+    }
     result.diagnostics.push_back(os.str());
     return result;
   }
-  // A single-actor chain is both source and sink; treat it as a sink
-  // constraint with no pairs.
-  if (n == 1) {
-    result.side = ConstraintSide::Sink;
+  // Every unconstrained actor must receive a pacing demand, so the
+  // constrained end must be the *only* end of its kind: a second data sink
+  // (sink mode) or data source (source mode) would be left unpaced.
+  const auto& ends = result.side == ConstraintSide::Sink
+                         ? result.view.data_sinks
+                         : result.view.data_sources;
+  for (const ActorId end : ends) {
+    if (end != constraint.actor) {
+      std::ostringstream os;
+      os << (result.side == ConstraintSide::Sink
+                 ? "sink-constrained analysis requires a unique data sink; '"
+                 : "source-constrained analysis requires a unique data source; '")
+         << graph.actor(end).name << "' has no "
+         << (result.side == ConstraintSide::Sink ? "output" : "input")
+         << " buffers either";
+      result.diagnostics.push_back(os.str());
+      return result;
+    }
   }
 
-  result.pacing.assign(n, Duration());
+  // Data-dependent rates are only sound on chain-segment (bridge) edges:
+  // a reconvergent region's join drains its sibling branches in lockstep,
+  // so a variable realized flow on any internal edge lets the branches'
+  // cumulative flows diverge — the surplus branch's buffer then fills
+  // without bound and no finite capacity satisfies the constraint for
+  // every admissible sequence.
+  for (std::size_t pos = 0; pos < result.buffers_in_order.size(); ++pos) {
+    if (!result.view.on_reconvergent_path[pos]) {
+      continue;
+    }
+    const Edge& data = graph.edge(result.buffers_in_order[pos].data);
+    if (!data.production.is_singleton() || !data.consumption.is_singleton()) {
+      std::ostringstream os;
+      os << "buffer " << graph.actor(data.source).name << " -> "
+         << graph.actor(data.target).name
+         << ": data-dependent rates (pi=" << data.production
+         << ", gamma=" << data.consumption
+         << ") on a reconvergent fork-join path; sibling branch flows "
+            "could diverge unboundedly, so variable quanta are only "
+            "supported on chain-segment edges";
+      result.diagnostics.push_back(os.str());
+      return result;
+    }
+  }
+
+  result.pacing_by_actor.assign(graph.actor_count(), Duration());
+  result.pacing_by_actor[constraint.actor.index()] = constraint.period;
+  // A fork (sink mode) / join (source mode) whose edges impose *different*
+  // demands is rate-inconsistent around an undirected cycle (all branches
+  // reconverge on the way to the constrained actor): the realized flows
+  // cannot balance, so taking the min would silently produce capacities
+  // for an unsatisfiable model.  Report the conflict instead.
+  const auto demand_conflict = [&](ActorId v, const Duration& phi,
+                                   const Duration& demand) {
+    std::ostringstream os;
+    os << "actor '" << graph.actor(v).name
+       << "': conflicting pacing demands from its "
+       << (result.side == ConstraintSide::Sink ? "output" : "input")
+       << " buffers (" << phi.seconds().to_string() << " s vs "
+       << demand.seconds().to_string()
+       << " s); the reconvergent branches impose inconsistent rates and "
+          "no finite capacities can satisfy the constraint";
+    result.diagnostics.push_back(os.str());
+  };
   if (result.side == ConstraintSide::Sink) {
-    result.pacing[n - 1] = constraint.period;
-    for (std::size_t i = n - 1; i > 0; --i) {
-      const Edge& data = graph.edge(result.buffers_in_order[i - 1].data);
-      const std::int64_t gamma_max = data.consumption.max();
-      const std::int64_t pi_min = data.production.min();
-      if (pi_min == 0) {
-        std::ostringstream os;
-        os << "buffer " << graph.actor(data.source).name << " -> "
-           << graph.actor(data.target).name
-           << ": minimum production quantum is zero; the producer cannot "
-              "sustain the consumer's maximum rate (sink-constrained chains "
-              "only tolerate zero *consumption* quanta)";
-        result.diagnostics.push_back(os.str());
-        return result;
+    // Walk upstream: every successor's φ is final before its producers.
+    for (auto it = result.actors_in_order.rbegin();
+         it != result.actors_in_order.rend(); ++it) {
+      const ActorId v = *it;
+      if (v == constraint.actor) {
+        continue;
       }
-      // φ(v_x) = (φ(v_y)/γ̂(e_xy)) · π̌(e_xy)
-      result.pacing[i - 1] =
-          result.pacing[i] * Rational(pi_min, gamma_max);
+      Duration phi;
+      for (const std::size_t pos : result.view.out_buffers[v.index()]) {
+        const Edge& data = graph.edge(result.buffers_in_order[pos].data);
+        const std::int64_t gamma_max = data.consumption.max();
+        const std::int64_t pi_min = data.production.min();
+        if (pi_min == 0) {
+          std::ostringstream os;
+          os << "buffer " << graph.actor(data.source).name << " -> "
+             << graph.actor(data.target).name
+             << ": minimum production quantum is zero; the producer cannot "
+                "sustain the consumer's maximum rate (sink-constrained "
+             << shape << " only tolerate zero *consumption* quanta)";
+          result.diagnostics.push_back(os.str());
+          return result;
+        }
+        // Demand of e_xy: φ(v_x) ≤ (φ(v_y)/γ̂(e_xy)) · π̌(e_xy).
+        const Duration demand = result.pacing_by_actor[data.target.index()] *
+                                Rational(pi_min, gamma_max);
+        if (!phi.is_positive()) {
+          phi = demand;
+        } else if (demand != phi) {
+          demand_conflict(v, phi, demand);
+          return result;
+        }
+      }
+      VRDF_REQUIRE(phi.is_positive(), "unpaced actor in sink propagation");
+      result.pacing_by_actor[v.index()] = phi;
     }
   } else {
-    result.pacing[0] = constraint.period;
-    for (std::size_t i = 0; i + 1 < n; ++i) {
-      const Edge& data = graph.edge(result.buffers_in_order[i].data);
-      const std::int64_t pi_max = data.production.max();
-      const std::int64_t gamma_min = data.consumption.min();
-      if (gamma_min == 0) {
-        std::ostringstream os;
-        os << "buffer " << graph.actor(data.source).name << " -> "
-           << graph.actor(data.target).name
-           << ": minimum consumption quantum is zero; the consumer cannot "
-              "keep up with the source's maximum rate (source-constrained "
-              "chains only tolerate zero *production* quanta)";
-        result.diagnostics.push_back(os.str());
-        return result;
+    // Walk downstream: every producer's φ is final before its consumers.
+    for (const ActorId v : result.actors_in_order) {
+      if (v == constraint.actor) {
+        continue;
       }
-      // φ(v_y) = (φ(v_x)/π̂(e_xy)) · γ̌(e_xy)
-      result.pacing[i + 1] =
-          result.pacing[i] * Rational(gamma_min, pi_max);
+      Duration phi;
+      for (const std::size_t pos : result.view.in_buffers[v.index()]) {
+        const Edge& data = graph.edge(result.buffers_in_order[pos].data);
+        const std::int64_t pi_max = data.production.max();
+        const std::int64_t gamma_min = data.consumption.min();
+        if (gamma_min == 0) {
+          std::ostringstream os;
+          os << "buffer " << graph.actor(data.source).name << " -> "
+             << graph.actor(data.target).name
+             << ": minimum consumption quantum is zero; the consumer cannot "
+                "keep up with the source's maximum rate (source-constrained "
+             << shape << " only tolerate zero *production* quanta)";
+          result.diagnostics.push_back(os.str());
+          return result;
+        }
+        // Demand of e_xy: φ(v_y) ≤ (φ(v_x)/π̂(e_xy)) · γ̌(e_xy).
+        const Duration demand = result.pacing_by_actor[data.source.index()] *
+                                Rational(gamma_min, pi_max);
+        if (!phi.is_positive()) {
+          phi = demand;
+        } else if (demand != phi) {
+          demand_conflict(v, phi, demand);
+          return result;
+        }
+      }
+      VRDF_REQUIRE(phi.is_positive(), "unpaced actor in source propagation");
+      result.pacing_by_actor[v.index()] = phi;
     }
   }
 
+  result.pacing.reserve(result.actors_in_order.size());
+  for (const ActorId v : result.actors_in_order) {
+    result.pacing.push_back(result.pacing_by_actor[v.index()]);
+  }
   result.ok = true;
   return result;
 }

@@ -1,15 +1,21 @@
-// Pacing propagation along a chain (Sec 4.3 / 4.4).
+// Pacing propagation over the buffer graph (Sec 4.3 / 4.4, generalised
+// from chains to fork-join DAGs).
 //
-// The throughput constraint fixes the pacing of one chain end:
-// φ(constrained actor) = τ.  Pacing then propagates pair-by-pair:
+// The throughput constraint fixes the pacing of one end of the graph:
+// φ(constrained actor) = τ.  Pacing then propagates per buffer edge:
 //
 //  * Sink-constrained (Sec 4.3): on every buffer the data-consuming task
 //    determines the rate; the producer must be able to match the maximum
-//    consumption rate even when producing its minimum quantum, so
-//    φ(v_x) = (φ(v_y)/γ̂(e_xy)) · π̌(e_xy), moving upstream.
+//    consumption rate even when producing its minimum quantum, so edge
+//    e_xy demands φ(v_x) ≤ (φ(v_y)/γ̂(e_xy)) · π̌(e_xy).  Propagation
+//    walks the reverse topological order of the data DAG; an actor with
+//    several output buffers must sustain the fastest demand, so its φ is
+//    the *minimum* over its out-edges' demands (on a chain there is one
+//    out-edge and this is exactly the paper's recurrence).
 //  * Source-constrained (Sec 4.4): mirrored — consumption is minimised and
-//    production maximised: φ(v_y) = (φ(v_x)/π̂(e_xy)) · γ̌(e_xy), moving
-//    downstream.
+//    production maximised: e_xy demands φ(v_y) ≤ (φ(v_x)/π̂(e_xy)) ·
+//    γ̌(e_xy), moving downstream in topological order, minimum over
+//    in-edges.
 //
 // φ(v) is simultaneously the minimal required difference between
 // subsequent starts of v and the maximal admissible worst-case response
@@ -29,19 +35,43 @@ struct PacingResult {
   bool ok = false;
   std::vector<std::string> diagnostics;
   ConstraintSide side = ConstraintSide::Sink;
-  /// Actors source→sink.
+  /// True when the data edges form a chain (Sec 3.1 shape).
+  bool is_chain = false;
+  /// The buffer network the propagation ran on (valid whenever the graph
+  /// passed validate_dag_model, even if pacing itself failed) — shared
+  /// with the capacity and min-period computations so the topological
+  /// structure is built once.
+  dataflow::VrdfGraph::BufferView view;
+  /// Actors in topological order of the data edges (chain order on
+  /// chains, data source first).
   std::vector<dataflow::ActorId> actors_in_order;
-  /// Buffers in chain order (buffers[i] connects actors[i] → actors[i+1]).
+  /// Buffers ordered by the producer's topological position (chain order
+  /// on chains: buffers[i] connects actors[i] → actors[i+1]).
   std::vector<dataflow::BufferEdges> buffers_in_order;
-  /// φ per chain position.
+  /// φ per position in actors_in_order.
   std::vector<Duration> pacing;
+  /// φ indexed by ActorId::index() — the per-edge lookup the capacity
+  /// computation uses.
+  std::vector<Duration> pacing_by_actor;
+
+  [[nodiscard]] const Duration& pacing_of(dataflow::ActorId actor) const {
+    return pacing_by_actor[actor.index()];
+  }
 };
 
-/// Validates that the graph is a consistent chain, that the constrained
-/// actor is one of its ends, and propagates pacing.  Produces diagnostics
-/// instead of throwing for model-level infeasibility (e.g. a zero minimum
-/// production quantum upstream of a sink constraint, which would require
-/// an infinite rate).
+/// Validates that the graph is a consistent acyclic buffer network, that
+/// the constrained actor is its unique data sink (sink mode) or unique
+/// data source (source mode), and propagates pacing.  Produces diagnostics
+/// instead of throwing for model-level infeasibility:
+///  * a zero minimum quantum on the rate-determining side (would require
+///    an infinite rate);
+///  * data-dependent rate sets on a reconvergent fork-join edge — the
+///    join drains sibling branches in lockstep, so variable realized
+///    flows would diverge unboundedly and no finite capacity suffices;
+///  * conflicting per-edge pacing demands at a fork (sink mode) or join
+///    (source mode) — with static reconvergent rates this is exactly
+///    rate inconsistency around an undirected cycle of the data graph,
+///    which no capacities can buffer away.
 [[nodiscard]] PacingResult compute_pacing(const dataflow::VrdfGraph& graph,
                                           const ThroughputConstraint& constraint);
 

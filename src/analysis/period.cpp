@@ -2,12 +2,35 @@
 
 #include <sstream>
 
+#include "analysis/buffer_sizing.hpp"
 #include "analysis/pacing.hpp"
 
 namespace vrdf::analysis {
 
 using dataflow::Edge;
 using dataflow::VrdfGraph;
+
+namespace {
+
+/// A lead-time value that is affine in the period: resp + rate·τ.  The
+/// schedule-alignment propagation of compute_buffer_capacities only mixes
+/// response times (τ-independent) and bound-rate terms (proportional to
+/// τ), so tracking the two components separately turns each pair's
+/// sufficiency condition into a closed-form bound on τ.
+struct AffineLead {
+  Rational resp;  // seconds
+  Rational rate;  // seconds per unit period
+
+  [[nodiscard]] Rational at(const Rational& tau) const {
+    return resp + rate * tau;
+  }
+
+  friend bool operator==(const AffineLead& a, const AffineLead& b) {
+    return a.resp == b.resp && a.rate == b.rate;
+  }
+};
+
+}  // namespace
 
 MinPeriodResult min_admissible_period(const VrdfGraph& graph,
                                       dataflow::ActorId actor,
@@ -22,98 +45,210 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
     result.diagnostics = unit.diagnostics;
     return result;
   }
+  const dataflow::VrdfGraph::BufferView& view = unit.view;
 
-  Rational min_tau(0);
-  Rational infimum_tau(0);
-  bool infimum_attained = true;
-  std::string binding = "(none)";
-  const auto tighten = [&](const Rational& candidate, const std::string& what) {
-    if (candidate > min_tau) {
-      min_tau = candidate;
-      binding = what;
-    }
-  };
-  const auto tighten_infimum = [&](const Rational& candidate, bool attained) {
-    if (candidate > infimum_tau) {
-      infimum_tau = candidate;
-      infimum_attained = attained;
-    } else if (candidate == infimum_tau && !attained) {
-      infimum_attained = false;
-    }
+  // Per-edge bound-rate coefficient: s_e = (c_near / q_e)·τ.
+  const auto rate_coefficient = [&](const Edge& data) {
+    return unit.side == ConstraintSide::Sink
+               ? unit.pacing_of(data.target).seconds() /
+                     Rational(data.consumption.max())
+               : unit.pacing_of(data.source).seconds() /
+                     Rational(data.production.max());
   };
 
-  // Response-time constraints ρ(v) ≤ c_v·τ (closed).
-  for (std::size_t i = 0; i < unit.actors_in_order.size(); ++i) {
-    const dataflow::Actor& a = graph.actor(unit.actors_in_order[i]);
-    const Rational c_v = unit.pacing[i].seconds();
-    tighten(a.response_time.seconds() / c_v, "actor " + a.name);
-    tighten_infimum(a.response_time.seconds() / c_v, true);
-  }
+  // Schedule alignment ω(v) as an affine function of τ (see
+  // compute_buffer_capacities).  The max over a fork's edges can switch
+  // with τ, so the binding structure is taken at a candidate period and
+  // iterated to a fixed point below; the final answer is forward-verified.
+  const auto leads_at = [&](const Rational& tau) {
+    std::vector<AffineLead> lead(graph.actor_count());
+    const auto consider = [&](AffineLead& longest, const AffineLead& candidate) {
+      if (candidate.at(tau) > longest.at(tau)) {
+        longest = candidate;
+      }
+    };
+    if (unit.side == ConstraintSide::Sink) {
+      for (auto it = unit.actors_in_order.rbegin();
+           it != unit.actors_in_order.rend(); ++it) {
+        const dataflow::ActorId v = *it;
+        if (v == actor) {
+          continue;
+        }
+        AffineLead longest;
+        for (const std::size_t pos : view.out_buffers[v.index()]) {
+          const Edge& data = graph.edge(view.buffers[pos].data);
+          const AffineLead& down = lead[data.target.index()];
+          consider(longest,
+                   AffineLead{down.resp,
+                              down.rate + rate_coefficient(data) *
+                                              Rational(data.production.max() - 1)});
+        }
+        longest.resp = longest.resp + graph.actor(v).response_time.seconds();
+        lead[v.index()] = longest;
+      }
+    } else {
+      for (const dataflow::ActorId v : unit.actors_in_order) {
+        if (v == actor) {
+          continue;
+        }
+        AffineLead longest;
+        for (const std::size_t pos : view.in_buffers[v.index()]) {
+          const Edge& data = graph.edge(view.buffers[pos].data);
+          const AffineLead& up = lead[data.source.index()];
+          consider(longest,
+                   AffineLead{up.resp +
+                                  graph.actor(data.source).response_time.seconds(),
+                              up.rate + rate_coefficient(data) *
+                                            Rational(data.production.max() - 1)});
+        }
+        lead[v.index()] = longest;
+      }
+    }
+    return lead;
+  };
 
-  // Capacity constraints per pair.
-  for (std::size_t i = 0; i < unit.buffers_in_order.size(); ++i) {
-    const dataflow::BufferEdges buffer = unit.buffers_in_order[i];
-    const Edge& data = graph.edge(buffer.data);
-    const Edge& space = graph.edge(buffer.space);
-    const std::int64_t d = space.initial_tokens;
-    const std::int64_t pi_max = data.production.max();
-    const std::int64_t gamma_max = data.consumption.max();
-    const std::string label = "buffer " + graph.actor(data.source).name +
-                              "->" + graph.actor(data.target).name;
+  Rational candidate_tau(1);
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    const std::vector<AffineLead> lead = leads_at(candidate_tau);
 
-    const bool is_static =
-        data.production.is_singleton() && data.consumption.is_singleton();
-    const bool adjacent = unit.side == ConstraintSide::Sink
-                              ? i + 1 == unit.buffers_in_order.size()
-                              : i == 0;
-    // Sufficiency margin in tokens: x ≤ d − 1 in general (the +1 of
-    // Eq (4)); x ≤ d when the rounding mode grants the tight value.
-    const bool tight = options.rounding == RoundingMode::Ceil ||
-                       (options.rounding == RoundingMode::PaperPublished &&
-                        is_static && adjacent);
-    const std::int64_t margin =
-        d - (pi_max - 1) - (gamma_max - 1) - (tight ? 0 : 1);
-    if (margin <= 0) {
-      std::ostringstream os;
-      os << label << ": capacity " << d
-         << " cannot sustain any rate (needs more than "
-         << (pi_max + gamma_max - (tight ? 2 : 1)) << " containers)";
-      result.diagnostics.push_back(os.str());
+    Rational min_tau(0);
+    Rational infimum_tau(0);
+    bool infimum_attained = true;
+    std::string binding = "(none)";
+    const auto tighten = [&](const Rational& cand, const std::string& what) {
+      if (cand > min_tau) {
+        min_tau = cand;
+        binding = what;
+      }
+    };
+    const auto tighten_infimum = [&](const Rational& cand, bool attained) {
+      if (cand > infimum_tau) {
+        infimum_tau = cand;
+        infimum_attained = attained;
+      } else if (cand == infimum_tau && !attained) {
+        infimum_attained = false;
+      }
+    };
+
+    // Response-time constraints ρ(v) ≤ c_v·τ (closed).
+    for (std::size_t i = 0; i < unit.actors_in_order.size(); ++i) {
+      const dataflow::Actor& a = graph.actor(unit.actors_in_order[i]);
+      const Rational c_v = unit.pacing[i].seconds();
+      tighten(a.response_time.seconds() / c_v, "actor " + a.name);
+      tighten_infimum(a.response_time.seconds() / c_v, true);
+    }
+
+    // Capacity constraints per pair: with delta_total = R + C·τ and
+    // s = (c/q)·τ, sufficiency x = delta_total/s ≤ d − adj becomes
+    //   τ ≥ q·R / (c·(d − adj − q·C/c)).
+    bool diagnosed = false;
+    for (std::size_t i = 0; i < unit.buffers_in_order.size(); ++i) {
+      const dataflow::BufferEdges buffer = unit.buffers_in_order[i];
+      const Edge& data = graph.edge(buffer.data);
+      const Edge& space = graph.edge(buffer.space);
+      const std::int64_t d = space.initial_tokens;
+      const std::int64_t pi_max = data.production.max();
+      const std::int64_t gamma_max = data.consumption.max();
+      const std::string label = "buffer " + graph.actor(data.source).name +
+                                "->" + graph.actor(data.target).name;
+
+      const bool is_static =
+          data.production.is_singleton() && data.consumption.is_singleton();
+      const bool adjacent = unit.side == ConstraintSide::Sink
+                                ? data.target == actor
+                                : data.source == actor;
+      const bool tight = options.rounding == RoundingMode::Ceil ||
+                         (options.rounding == RoundingMode::PaperPublished &&
+                          is_static && adjacent);
+
+      const AffineLead gap =
+          unit.side == ConstraintSide::Sink
+              ? AffineLead{lead[data.source.index()].resp -
+                               lead[data.target.index()].resp,
+                           lead[data.source.index()].rate -
+                               lead[data.target.index()].rate}
+              : AffineLead{lead[data.target.index()].resp -
+                               lead[data.source.index()].resp,
+                           lead[data.target.index()].rate -
+                               lead[data.source.index()].rate};
+      const Rational c = unit.side == ConstraintSide::Sink
+                             ? unit.pacing_of(data.target).seconds()
+                             : unit.pacing_of(data.source).seconds();
+      const std::int64_t q = unit.side == ConstraintSide::Sink ? gamma_max
+                                                               : pi_max;
+      // delta_total = R + C·τ with the consumer-side Eq (2) terms added.
+      const Rational resp_part =
+          gap.resp + graph.actor(data.target).response_time.seconds();
+      const Rational rate_tokens =  // (C·q/c): τ-independent token count
+          (gap.rate + (c / Rational(q)) * Rational(gamma_max - 1)) *
+          Rational(q) / c;
+      // Sufficiency margin in tokens: x ≤ d − 1 in general (the +1 of
+      // Eq (4)); x ≤ d when the rounding mode grants the tight value.
+      const Rational margin =
+          Rational(d) - rate_tokens - Rational(tight ? 0 : 1);
+      if (!margin.is_positive()) {
+        std::ostringstream os;
+        os << label << ": capacity " << d
+           << " cannot sustain any rate (needs more than "
+           << (rate_tokens + Rational(tight ? 0 : 1)).to_string()
+           << " containers)";
+        result.diagnostics.push_back(os.str());
+        diagnosed = true;
+        break;
+      }
+      // R·q/(c·τ) ≤ margin  ⇔  τ ≥ q·R/(c·margin).
+      tighten(Rational(q) * resp_part / (c * margin), label);
+      // The forward rounding ⌊x⌋+1 ≤ d is the open condition x < d, one
+      // token looser than the attained criterion: margin+1, not attained.
+      // On tight pairs the forward condition ⌈x⌉ ≤ d equals x ≤ d and the
+      // bound is attained.
+      if (tight) {
+        tighten_infimum(Rational(q) * resp_part / (c * margin), true);
+      } else {
+        tighten_infimum(
+            Rational(q) * resp_part / (c * (margin + Rational(1))), false);
+      }
+    }
+    if (diagnosed) {
       return result;
     }
-    // s = c·τ/γ̂ (sink mode) or c·τ/π̂ (source mode), with c the pacing
-    // coefficient of the pair's rate-determining actor.
-    const Rational c = unit.side == ConstraintSide::Sink
-                           ? unit.pacing[i + 1].seconds()
-                           : unit.pacing[i].seconds();
-    const std::int64_t quantum_divisor =
-        unit.side == ConstraintSide::Sink ? gamma_max : pi_max;
-    const Rational rho_sum =
-        (graph.actor(data.source).response_time +
-         graph.actor(data.target).response_time)
-            .seconds();
-    // (ρa+ρb)/(c·τ/γ̂) ≤ margin  ⇔  τ ≥ γ̂·(ρa+ρb)/(c·margin).
-    tighten(Rational(quantum_divisor) * rho_sum / (c * Rational(margin)),
-            label);
-    // The forward rounding ⌊x⌋+1 ≤ d is the open condition x < d, one
-    // token looser than the attained criterion: margin+1, not attained.
-    // On tight pairs the forward condition ⌈x⌉ ≤ d equals x ≤ d and the
-    // bound is attained.
-    if (tight) {
-      tighten_infimum(
-          Rational(quantum_divisor) * rho_sum / (c * Rational(margin)), true);
-    } else {
-      tighten_infimum(
-          Rational(quantum_divisor) * rho_sum / (c * Rational(margin + 1)),
-          false);
+
+    // The binding structure of the alignment max may differ at the solved
+    // period; iterate until it reproduces itself (`lead` is exactly
+    // leads_at(candidate_tau)).
+    if (leads_at(min_tau) == lead) {
+      result.ok = true;
+      result.min_period = Duration(min_tau);
+      result.infimum_period = Duration(infimum_tau);
+      result.infimum_attained = infimum_attained;
+      result.binding_constraint = binding;
+      break;
     }
+    candidate_tau = min_tau;
+  }
+  if (!result.ok) {
+    result.diagnostics.push_back(
+        "alignment binding structure did not converge");
+    return result;
   }
 
-  result.ok = true;
-  result.min_period = Duration(min_tau);
-  result.infimum_period = Duration(infimum_tau);
-  result.infimum_attained = infimum_attained;
-  result.binding_constraint = binding;
+  // Soundness check: the forward analysis at min_period must fit the
+  // installed capacities (guards the fixed-binding closed form on
+  // fork-join graphs; never triggers on chains, whose max is trivial).
+  const GraphAnalysis forward = compute_buffer_capacities(
+      graph, ThroughputConstraint{actor, result.min_period}, options);
+  bool fits = forward.admissible;
+  if (fits) {
+    for (const PairAnalysis& pair : forward.pairs) {
+      fits = fits &&
+             pair.capacity <= graph.edge(pair.buffer.space).initial_tokens;
+    }
+  }
+  if (!fits) {
+    result.ok = false;
+    result.diagnostics.push_back(
+        "closed-form period failed forward verification");
+  }
   return result;
 }
 

@@ -11,15 +11,16 @@
 namespace vrdf::analysis {
 
 /// "Actor `actor` must execute strictly periodically with period `period`."
-/// The paper requires the constrained task to sit at an end of the chain:
-/// a task without output buffers (sink, Sec 4.2/4.3) or without input
-/// buffers (source, Sec 4.4).
+/// The paper requires the constrained task to sit at an end of the chain;
+/// the generalised analysis requires it to be the unique data sink (no
+/// output buffers, Sec 4.2/4.3) or the unique data source (no input
+/// buffers, Sec 4.4) of the fork-join graph.
 struct ThroughputConstraint {
   dataflow::ActorId actor;
   Duration period;
 };
 
-/// Which end of the chain carries the throughput constraint.
+/// Which end of the graph carries the throughput constraint.
 enum class ConstraintSide {
   Sink,    // Sec 4.2/4.3: rates propagate upstream against the data flow
   Source,  // Sec 4.4: rates propagate downstream with the data flow
@@ -62,7 +63,13 @@ struct PairAnalysis {
   /// Time per token of the pair's linear bounds (φ/γ̂ resp. φ/π̂).
   Duration bound_rate;
   /// Eq (1): minimum distance α̂p(e_ab) − α̌c(e_ba) chargeable to the
-  /// producer: ρ(producer) + s·(π̂ − 1).
+  /// producer: ρ(producer) + s·(π̂ − 1) on a chain.  On fork-join graphs
+  /// this is the schedule-alignment gap ω(far endpoint) − ω(near
+  /// endpoint) across the edge (see compute_buffer_capacities), which is
+  /// ≥ the chain value and exceeds it exactly on the non-binding edges of
+  /// a fork/join: the shared actor's firings are pinned to the slowest
+  /// sibling path, so the faster path's buffer must also absorb the
+  /// siblings' worst-case slack.
   Duration delta_producer;
   /// Eq (2): minimum distance α̂p(e_ba) − α̌c(e_ab) chargeable to the
   /// consumer: ρ(consumer) + s·(γ̂ − 1).
@@ -77,8 +84,8 @@ struct PairAnalysis {
   bool is_static = false;
 };
 
-/// Result of the full chain analysis.
-struct ChainAnalysis {
+/// Result of the full graph analysis (chains and fork-join DAGs).
+struct GraphAnalysis {
   /// False when the constraint cannot be satisfied for every admissible
   /// quantum sequence (diagnostics explain why).  Capacities are only
   /// meaningful when true.
@@ -86,16 +93,24 @@ struct ChainAnalysis {
   std::vector<std::string> diagnostics;
 
   ConstraintSide side = ConstraintSide::Sink;
-  /// Actors in chain order, data source first.
+  /// True when the data edges form a chain (the paper's Sec 3.1 shape);
+  /// actors_in_order is then exactly the chain order.
+  bool is_chain = false;
+  /// Actors in topological order of the data edges (chain order on chains,
+  /// data source first).
   std::vector<dataflow::ActorId> actors_in_order;
   /// φ(v) per position in actors_in_order: the minimal required difference
   /// between subsequent starts (also the maximal admissible response time).
   std::vector<Duration> pacing;
-  /// One entry per buffer, in chain order.
+  /// One entry per buffer, ordered by the producer's topological position
+  /// (chain order on chains).
   std::vector<PairAnalysis> pairs;
   /// Sum of all capacities (containers across all buffers).
   std::int64_t total_capacity = 0;
 };
+
+/// Pre-refactor name, kept for the chain-only call sites.
+using ChainAnalysis = GraphAnalysis;
 
 struct AnalysisOptions {
   RoundingMode rounding = RoundingMode::PaperPublished;

@@ -16,16 +16,16 @@ std::int64_t sriram_pair_capacity(std::int64_t production,
   return checked_mul(2, window);
 }
 
-TraditionalResult traditional_chain_capacities(const dataflow::VrdfGraph& graph) {
+TraditionalResult traditional_capacities(const dataflow::VrdfGraph& graph) {
   TraditionalResult result;
   const dataflow::ValidationReport validation =
-      dataflow::validate_chain_model(graph);
+      dataflow::validate_dag_model(graph);
   if (!validation.ok()) {
     result.diagnostics = validation.errors;
     return result;
   }
-  const auto chain = graph.chain_view();
-  for (const dataflow::BufferEdges& b : chain->buffers) {
+  const auto view = graph.buffer_view();
+  for (const dataflow::BufferEdges& b : view->buffers) {
     const dataflow::Edge& data = graph.edge(b.data);
     TraditionalPair pair;
     pair.producer = data.source;
@@ -39,6 +39,17 @@ TraditionalResult traditional_chain_capacities(const dataflow::VrdfGraph& graph)
   }
   result.ok = true;
   return result;
+}
+
+TraditionalResult traditional_chain_capacities(const dataflow::VrdfGraph& graph) {
+  const dataflow::ValidationReport validation =
+      dataflow::validate_chain_model(graph);
+  if (!validation.ok()) {
+    TraditionalResult result;
+    result.diagnostics = validation.errors;
+    return result;
+  }
+  return traditional_capacities(graph);
 }
 
 }  // namespace vrdf::baseline

@@ -46,9 +46,15 @@ struct TraditionalResult {
   std::int64_t total_capacity = 0;
 };
 
-/// Applies the classical bound per buffer of a chain, fixing every rate
-/// set to its maximum (the paper's lower-bound construction for the MP3
-/// case study).
+/// Applies the classical bound per buffer of an acyclic graph (chain or
+/// fork-join), fixing every rate set to its maximum (the paper's
+/// lower-bound construction for the MP3 case study).  Pairs are ordered
+/// like GraphAnalysis::pairs (chain order on chains).
+[[nodiscard]] TraditionalResult traditional_capacities(
+    const dataflow::VrdfGraph& graph);
+
+/// traditional_capacities() restricted to chains (rejects anything the
+/// Sec 3.1 shape check rejects) — the pre-refactor entry point.
 [[nodiscard]] TraditionalResult traditional_chain_capacities(
     const dataflow::VrdfGraph& graph);
 

@@ -17,7 +17,7 @@ std::string ValidationReport::summary() const {
   return os.str();
 }
 
-ValidationReport validate_chain_model(const VrdfGraph& graph) {
+ValidationReport validate_dag_model(const VrdfGraph& graph) {
   ValidationReport report;
   if (graph.actor_count() == 0) {
     report.errors.push_back("graph has no actors");
@@ -50,6 +50,14 @@ ValidationReport validate_chain_model(const VrdfGraph& graph) {
       report.errors.push_back(os.str());
     }
   }
+  if (report.ok() && !graph.buffer_view().has_value()) {
+    report.errors.push_back("data edges contain a directed cycle");
+  }
+  return report;
+}
+
+ValidationReport validate_chain_model(const VrdfGraph& graph) {
+  ValidationReport report = validate_dag_model(graph);
   if (report.ok() && !graph.chain_view().has_value()) {
     report.errors.push_back("data edges do not form a chain (Sec 3.1)");
   }

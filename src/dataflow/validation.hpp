@@ -6,6 +6,12 @@
 // requires exactly the space it produces.  validate() re-checks those
 // invariants on an arbitrary VRDF graph so that hand-built models get the
 // same guarantees as converted task graphs.
+//
+// The analysis itself only needs the per-buffer invariants plus an acyclic
+// data topology — the per-pair bound of Eqs (1)-(4) propagates along each
+// buffer edge, not along a global chain index — so validate_dag_model()
+// admits weakly connected fork-join (DAG) topologies and
+// validate_chain_model() adds the Sec 3.1 chain restriction on top.
 #pragma once
 
 #include <string>
@@ -28,7 +34,13 @@ struct ValidationReport {
 ///  * every edge belongs to an anti-parallel buffer pair;
 ///  * each pair satisfies π(data) == γ(space) and γ(data) == π(space)
 ///    (strong consistency of the buffer protocol);
-///  * the data edges form a chain (Sec 3.1 topology restriction).
+///  * the data edges form an acyclic graph (fork-join generalisation of
+///    the Sec 3.1 restriction; parallel buffers between one actor pair
+///    are allowed, directed data cycles are not).
+[[nodiscard]] ValidationReport validate_dag_model(const VrdfGraph& graph);
+
+/// validate_dag_model() plus the Sec 3.1 chain restriction: the data edges
+/// must form a single directed chain.
 [[nodiscard]] ValidationReport validate_chain_model(const VrdfGraph& graph);
 
 }  // namespace vrdf::dataflow

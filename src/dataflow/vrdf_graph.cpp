@@ -1,5 +1,7 @@
 #include "dataflow/vrdf_graph.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace vrdf::dataflow {
@@ -93,6 +95,76 @@ std::optional<VrdfGraph::ChainView> VrdfGraph::chain_view() const {
     }
     view.buffers.push_back(b);
   }
+  return view;
+}
+
+std::optional<VrdfGraph::BufferView> VrdfGraph::buffer_view() const {
+  for (const Edge& e : edges_) {
+    if (!e.paired.is_valid()) {
+      return std::nullopt;
+    }
+  }
+  // Reduced digraph with one edge per buffer, in data direction; the
+  // reduced edge index is the buffer index.
+  graph::Digraph data_only;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    (void)data_only.add_node();
+  }
+  for (const BufferEdges& b : buffers_) {
+    const Edge& data = edges_[b.data.index()];
+    (void)data_only.add_edge(data.source, data.target);
+  }
+  const auto order = graph::topological_order(data_only);
+  if (!order.has_value()) {
+    return std::nullopt;  // directed cycle among data edges
+  }
+
+  BufferView view;
+  view.actors = *order;
+  std::vector<std::size_t> position(actors_.size());
+  for (std::size_t i = 0; i < view.actors.size(); ++i) {
+    position[view.actors[i].index()] = i;
+  }
+  // Stable sort keeps insertion order among buffers sharing a producer.
+  std::vector<std::size_t> by_producer(buffers_.size());
+  for (std::size_t i = 0; i < by_producer.size(); ++i) {
+    by_producer[i] = i;
+  }
+  std::stable_sort(by_producer.begin(), by_producer.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const Edge& ea = edges_[buffers_[a].data.index()];
+                     const Edge& eb = edges_[buffers_[b].data.index()];
+                     return position[ea.source.index()] <
+                            position[eb.source.index()];
+                   });
+  view.buffers.reserve(buffers_.size());
+  view.in_buffers.resize(actors_.size());
+  view.out_buffers.resize(actors_.size());
+  const std::vector<bool> bridge = graph::undirected_bridges(data_only);
+  view.on_reconvergent_path.reserve(buffers_.size());
+  for (std::size_t pos = 0; pos < by_producer.size(); ++pos) {
+    const BufferEdges& b = buffers_[by_producer[pos]];
+    const Edge& data = edges_[b.data.index()];
+    view.buffers.push_back(b);
+    view.out_buffers[data.source.index()].push_back(pos);
+    view.in_buffers[data.target.index()].push_back(pos);
+    // Buffers were added to `data_only` in buffers_ order.
+    view.on_reconvergent_path.push_back(!bridge[by_producer[pos]]);
+  }
+  bool degrees_chain_like = true;
+  for (const ActorId a : view.actors) {
+    if (view.in_buffers[a.index()].empty()) {
+      view.data_sources.push_back(a);
+    }
+    if (view.out_buffers[a.index()].empty()) {
+      view.data_sinks.push_back(a);
+    }
+    degrees_chain_like = degrees_chain_like &&
+                         view.in_buffers[a.index()].size() <= 1 &&
+                         view.out_buffers[a.index()].size() <= 1;
+  }
+  view.is_chain =
+      degrees_chain_like && graph::is_weakly_connected(data_only);
   return view;
 }
 

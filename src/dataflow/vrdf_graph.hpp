@@ -110,6 +110,38 @@ public:
   /// contains unpaired edges.
   [[nodiscard]] std::optional<ChainView> chain_view() const;
 
+  /// A VRDF graph seen as an acyclic network of buffers — the general view
+  /// the analysis pipeline runs on.  Buffers are keyed per data edge;
+  /// chains are the degenerate case with every fan-in/fan-out equal to one.
+  struct BufferView {
+    /// Actors in a topological order of the data-edge DAG (for a chain this
+    /// is exactly the chain order, data source first).
+    std::vector<ActorId> actors;
+    /// Buffers ordered by (topological position of the producer, insertion
+    /// index) — deterministic, and equal to chain order on chains.
+    std::vector<BufferEdges> buffers;
+    /// Per actor (indexed by ActorId::index()): positions in `buffers` of
+    /// the buffers the actor consumes from / produces into.
+    std::vector<std::vector<std::size_t>> in_buffers;
+    std::vector<std::vector<std::size_t>> out_buffers;
+    /// Actors with no incoming / no outgoing data edge, in topological
+    /// order.  A single unconnected actor is both.
+    std::vector<ActorId> data_sources;
+    std::vector<ActorId> data_sinks;
+    /// Per position in `buffers`: true when the buffer's data edge lies on
+    /// an undirected cycle of the data graph — i.e. inside a reconvergent
+    /// fork-join region, where sibling branches must stay flow-balanced.
+    /// False exactly on the bridge (chain-segment) edges.
+    std::vector<bool> on_reconvergent_path;
+    /// True when the data edges form a chain (every fan-in and fan-out at
+    /// most one, weakly connected) — the Sec 3.1 shape.
+    bool is_chain = false;
+  };
+
+  /// Buffer-network recognition over data edges.  Returns nullopt when the
+  /// graph contains unpaired edges or the data edges have a directed cycle.
+  [[nodiscard]] std::optional<BufferView> buffer_view() const;
+
 private:
   graph::Digraph topology_;
   std::vector<Actor> actors_;

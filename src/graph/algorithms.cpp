@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -196,8 +197,81 @@ std::optional<std::vector<NodeId>> topological_order(const Digraph& g) {
   return order;
 }
 
+std::optional<std::vector<NodeId>> reverse_topological_order(const Digraph& g) {
+  auto order = topological_order(g);
+  if (order.has_value()) {
+    std::reverse(order->begin(), order->end());
+  }
+  return order;
+}
+
 bool has_directed_cycle(const Digraph& g) {
   return !topological_order(g).has_value();
+}
+
+std::vector<bool> undirected_bridges(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<bool> is_bridge(g.edge_count(), false);
+  // Undirected incidence: per node, (neighbour, edge index) including both
+  // directions of every edge.
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> incident(n);
+  for (const EdgeId e : g.edges()) {
+    const NodeId s = g.edge_source(e);
+    const NodeId t = g.edge_target(e);
+    if (s == t) {
+      continue;  // self-loops are never bridges
+    }
+    incident[s.index()].emplace_back(t, e.index());
+    incident[t.index()].emplace_back(s, e.index());
+  }
+  // Iterative DFS lowlink; an edge (u, v) with v a child is a bridge iff
+  // low(v) > disc(u).  The parent *edge instance* is skipped, not the
+  // parent node, so parallel edges correctly form a cycle.
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> disc(n, kUnvisited);
+  std::vector<std::size_t> low(n, 0);
+  std::size_t timer = 0;
+  struct Frame {
+    NodeId node;
+    std::size_t parent_edge;  // edge index used to enter, or kUnvisited
+    std::size_t next;         // position in incident[node]
+  };
+  for (const NodeId root : g.nodes()) {
+    if (disc[root.index()] != kUnvisited) {
+      continue;
+    }
+    std::vector<Frame> stack{{root, kUnvisited, 0}};
+    disc[root.index()] = low[root.index()] = timer++;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto& edges = incident[f.node.index()];
+      if (f.next < edges.size()) {
+        const auto [m, edge_index] = edges[f.next];
+        ++f.next;
+        if (edge_index == f.parent_edge) {
+          continue;
+        }
+        if (disc[m.index()] == kUnvisited) {
+          disc[m.index()] = low[m.index()] = timer++;
+          stack.push_back(Frame{m, edge_index, 0});
+        } else {
+          low[f.node.index()] = std::min(low[f.node.index()], disc[m.index()]);
+        }
+        continue;
+      }
+      const Frame done = f;
+      stack.pop_back();
+      if (!stack.empty()) {
+        Frame& parent = stack.back();
+        low[parent.node.index()] =
+            std::min(low[parent.node.index()], low[done.node.index()]);
+        if (low[done.node.index()] > disc[parent.node.index()]) {
+          is_bridge[done.parent_edge] = true;
+        }
+      }
+    }
+  }
+  return is_bridge;
 }
 
 std::vector<std::vector<NodeId>> strongly_connected_components(const Digraph& g) {

@@ -3,8 +3,12 @@
 // The paper restricts task graphs to *chains* (Sec 3.1): every task has at
 // most one input and one output buffer, and the graph is weakly connected.
 // chain_order() recognizes that shape and returns the tasks from source to
-// sink.  The remaining algorithms support general-graph diagnostics and
-// the SDF/CSDF substrate (cycle detection, SCCs, topological order).
+// sink.  The analysis pipeline itself now runs on any weakly connected
+// acyclic topology (fork-join graphs) via topological_order() /
+// reverse_topological_order(); chains remain the special case the paper
+// treats and are detected for reporting.  The remaining algorithms support
+// general-graph diagnostics and the SDF/CSDF substrate (cycle detection,
+// SCCs).
 #pragma once
 
 #include <optional>
@@ -32,11 +36,23 @@ struct ChainOrder {
 [[nodiscard]] std::optional<ChainOrder> chain_order(const Digraph& g);
 
 /// Topological order of a DAG, or nullopt when the graph has a directed
-/// cycle.
+/// cycle.  Deterministic for a given construction order.
 [[nodiscard]] std::optional<std::vector<NodeId>> topological_order(const Digraph& g);
+
+/// topological_order() reversed: every node appears after all of its
+/// successors — the traversal order of sink-anchored propagations.
+[[nodiscard]] std::optional<std::vector<NodeId>> reverse_topological_order(
+    const Digraph& g);
 
 /// True when the graph contains a directed cycle.
 [[nodiscard]] bool has_directed_cycle(const Digraph& g);
+
+/// Per edge (indexed by EdgeId), true when the edge is a bridge of the
+/// *undirected* multigraph: removing it disconnects its endpoints.
+/// Parallel edges are never bridges; self-loops are never bridges.  In a
+/// fork-join DAG the bridges are exactly the chain-segment edges — every
+/// edge of a reconvergent region lies on an undirected cycle.
+[[nodiscard]] std::vector<bool> undirected_bridges(const Digraph& g);
 
 /// Strongly connected components (Tarjan); each component lists its nodes,
 /// components are emitted in reverse topological order of the condensation.

@@ -1,6 +1,9 @@
 #include "io/dot.hpp"
 
 #include <sstream>
+#include <unordered_map>
+
+#include "util/error.hpp"
 
 namespace vrdf::io {
 
@@ -18,15 +21,29 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-std::string to_dot(const dataflow::VrdfGraph& graph) {
+/// Shared emitter for both VrdfGraph overloads; the annotation inputs are
+/// null for the plain rendering.
+std::string render_vrdf_dot(const dataflow::VrdfGraph& graph,
+                            const analysis::ThroughputConstraint* constraint,
+                            const analysis::GraphAnalysis* analysis) {
+  std::unordered_map<dataflow::EdgeId, std::int64_t> capacity_of_space;
+  if (analysis != nullptr) {
+    for (const analysis::PairAnalysis& pair : analysis->pairs) {
+      capacity_of_space.emplace(pair.buffer.space, pair.capacity);
+    }
+  }
   std::ostringstream os;
   os << "digraph vrdf {\n  rankdir=LR;\n  node [shape=box];\n";
   for (const dataflow::ActorId a : graph.actors()) {
     const dataflow::Actor& actor = graph.actor(a);
     os << "  n" << a.value() << " [label=\"" << escape(actor.name)
-       << "\\nrho=" << actor.response_time.seconds().to_string() << " s\"];\n";
+       << "\\nrho=" << actor.response_time.seconds().to_string() << " s";
+    if (constraint != nullptr && a == constraint->actor) {
+      os << "\\ntau=" << constraint->period.seconds().to_string()
+         << " s\" peripheries=2];\n";
+    } else {
+      os << "\"];\n";
+    }
   }
   for (const dataflow::EdgeId e : graph.edges()) {
     const dataflow::Edge& edge = graph.edge(e);
@@ -35,7 +52,15 @@ std::string to_dot(const dataflow::VrdfGraph& graph) {
     os << "  n" << edge.source.value() << " -> n" << edge.target.value()
        << " [label=\"";
     if (is_space_edge) {
-      os << "space d=" << edge.initial_tokens << "\" style=dashed";
+      os << "space d=" << edge.initial_tokens;
+      const auto it = capacity_of_space.find(e);
+      if (it != capacity_of_space.end()) {
+        os << " zeta=" << it->second;
+        if (it->second != edge.initial_tokens) {
+          os << " (!)";
+        }
+      }
+      os << "\" style=dashed";
     } else {
       os << escape(edge.production.to_string()) << " / "
          << escape(edge.consumption.to_string());
@@ -48,6 +73,20 @@ std::string to_dot(const dataflow::VrdfGraph& graph) {
   }
   os << "}\n";
   return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const dataflow::VrdfGraph& graph) {
+  return render_vrdf_dot(graph, nullptr, nullptr);
+}
+
+std::string to_dot(const dataflow::VrdfGraph& graph,
+                   const analysis::ThroughputConstraint& constraint,
+                   const analysis::GraphAnalysis& analysis) {
+  VRDF_REQUIRE(analysis.admissible,
+               "cannot render an inadmissible analysis");
+  return render_vrdf_dot(graph, &constraint, &analysis);
 }
 
 std::string to_dot(const taskgraph::TaskGraph& graph) {

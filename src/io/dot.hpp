@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
 #include "taskgraph/task_graph.hpp"
 
@@ -11,6 +12,14 @@ namespace vrdf::io {
 /// DOT digraph: actors as boxes (name, ρ), data edges solid with
 /// "π / γ" labels, space edges dashed with their initial-token count.
 [[nodiscard]] std::string to_dot(const dataflow::VrdfGraph& graph);
+
+/// Annotated variant: space edges of analysed buffers additionally carry
+/// the computed capacity ζ (flagged when the installed δ differs), and the
+/// constrained actor is double-bordered with its period τ — so fork-join
+/// sizings can be checked visually.  Requires an admissible analysis.
+[[nodiscard]] std::string to_dot(const dataflow::VrdfGraph& graph,
+                                 const analysis::ThroughputConstraint& constraint,
+                                 const analysis::GraphAnalysis& analysis);
 
 /// DOT digraph: tasks as boxes (name, κ), buffers as edges labelled
 /// "ξ / λ [ζ]".

@@ -11,7 +11,7 @@ namespace vrdf::io {
 
 std::string analysis_report(const dataflow::VrdfGraph& graph,
                             const analysis::ThroughputConstraint& constraint,
-                            const analysis::ChainAnalysis& analysis) {
+                            const analysis::GraphAnalysis& analysis) {
   VRDF_REQUIRE(analysis.admissible, "cannot report an inadmissible analysis");
   std::ostringstream os;
 
@@ -21,8 +21,8 @@ std::string analysis_report(const dataflow::VrdfGraph& graph,
      << constraint.period.seconds().to_string() << " s ("
      << constraint.period.seconds().reciprocal().to_double() << " Hz), "
      << (analysis.side == analysis::ConstraintSide::Sink ? "sink" : "source")
-     << "-constrained chain of " << analysis.actors_in_order.size()
-     << " tasks.\n\n";
+     << "-constrained " << (analysis.is_chain ? "chain" : "fork-join graph")
+     << " of " << analysis.actors_in_order.size() << " tasks.\n\n";
 
   os << "## Pacing budget (max admissible response times)\n\n";
   Table pacing({"task", "rho (s)", "phi (s)", "slack"});

@@ -1,7 +1,8 @@
 // Markdown analysis report: everything the library can say about a sized
-// chain in one human-readable document (model summary, pacing budget,
-// capacity table with deadlock minima, rate headroom).  Used by
-// `vrdf_sizer --report=FILE` and handy as an artefact for design reviews.
+// graph (chain or fork-join) in one human-readable document (model
+// summary, pacing budget, capacity table with deadlock minima, rate
+// headroom).  Used by `vrdf_sizer --report=FILE` and handy as an artefact
+// for design reviews.
 #pragma once
 
 #include <string>
@@ -18,6 +19,6 @@ namespace vrdf::io {
 [[nodiscard]] std::string analysis_report(
     const dataflow::VrdfGraph& graph,
     const analysis::ThroughputConstraint& constraint,
-    const analysis::ChainAnalysis& analysis);
+    const analysis::GraphAnalysis& analysis);
 
 }  // namespace vrdf::io

@@ -110,6 +110,162 @@ SyntheticChain make_random_chain(const RandomChainSpec& spec) {
   return SyntheticChain{std::move(*scaled), constraint};
 }
 
+SyntheticChain make_random_fork_join(const RandomForkJoinSpec& spec) {
+  VRDF_REQUIRE(spec.stages >= 1, "need at least one fork-join stage");
+  VRDF_REQUIRE(spec.max_branches >= 2, "a fork needs at least two branches");
+  VRDF_REQUIRE(spec.max_branch_length >= 1, "branches need at least one actor");
+  VRDF_REQUIRE(spec.max_gear >= 1, "max gear must be positive");
+  VRDF_REQUIRE(spec.max_quantum >= spec.max_gear,
+               "max quantum must cover the gear range");
+  VRDF_REQUIRE(spec.variable_percent >= 0 && spec.variable_percent <= 100,
+               "variable_percent must be a percentage");
+  VRDF_REQUIRE(spec.zero_percent >= 0 && spec.zero_percent <= 100,
+               "zero_percent must be a percentage");
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<std::int64_t> gear_draw(1, spec.max_gear);
+  std::uniform_int_distribution<int> percent(0, 99);
+
+  VrdfGraph bare;
+  std::vector<std::int64_t> gear;  // by actor id
+  const Duration dummy = seconds(Rational(1));
+  const auto new_actor = [&](const std::string& name) {
+    const ActorId id = bare.add_actor(name, dummy);
+    gear.push_back(gear_draw(rng));
+    return id;
+  };
+
+  // Chain-segment edges: the rate-determining side of edge x→y is pinned
+  // to the gears, the other side varies freely.  Sink mode: π̌ = g(x)
+  // (tail may reach max_quantum), γ̂ = g(y) (tail may reach zero).
+  // Source mode mirrored.
+  const auto pinned_min = [&](std::int64_t g) -> RateSet {
+    if (percent(rng) < spec.variable_percent && g < spec.max_quantum) {
+      const std::int64_t hi =
+          std::uniform_int_distribution<std::int64_t>(g, spec.max_quantum)(rng);
+      if (hi > g) {
+        return RateSet::interval(g, hi);
+      }
+    }
+    return RateSet::singleton(g);
+  };
+  const auto pinned_max = [&](std::int64_t g) -> RateSet {
+    if (percent(rng) < spec.variable_percent) {
+      const std::int64_t lo =
+          percent(rng) < spec.zero_percent
+              ? 0
+              : std::uniform_int_distribution<std::int64_t>(1, g)(rng);
+      if (lo < g) {
+        return RateSet::interval(lo, g);
+      }
+    }
+    return RateSet::singleton(g);
+  };
+  const auto add_segment_buffer = [&](ActorId x, ActorId y) {
+    const std::int64_t gx = gear[x.index()];
+    const std::int64_t gy = gear[y.index()];
+    const RateSet production =
+        spec.source_constrained ? pinned_max(gx) : pinned_min(gx);
+    const RateSet consumption =
+        spec.source_constrained ? pinned_min(gy) : pinned_max(gy);
+    (void)bare.add_buffer(x, y, production, consumption);
+  };
+  // Block-internal edges: exact gear singletons keep sibling-branch flows
+  // proportional for every admissible sequence (see RandomForkJoinSpec).
+  const auto add_block_buffer = [&](ActorId x, ActorId y) {
+    (void)bare.add_buffer(x, y, RateSet::singleton(gear[x.index()]),
+                          RateSet::singleton(gear[y.index()]));
+  };
+  std::uniform_int_distribution<std::size_t> branch_count(2, spec.max_branches);
+  std::uniform_int_distribution<std::size_t> branch_length(
+      1, spec.max_branch_length);
+  std::uniform_int_distribution<std::size_t> segment_length(
+      0, spec.max_segment_length);
+  // Appends a chain segment of variable-rate actors after `tail`.
+  const auto add_segment = [&](ActorId tail, const std::string& prefix) {
+    const std::size_t length = segment_length(rng);
+    for (std::size_t i = 0; i < length; ++i) {
+      const ActorId node = new_actor(prefix + "_" + std::to_string(i));
+      add_segment_buffer(tail, node);
+      tail = node;
+    }
+    return tail;
+  };
+
+  const ActorId source = new_actor("src");
+  ActorId tail = source;
+  for (std::size_t stage = 0; stage < spec.stages; ++stage) {
+    const std::string prefix = "s" + std::to_string(stage);
+    tail = add_segment(tail, prefix + "_pre");
+    const ActorId join = new_actor(prefix + "_join");
+    const std::size_t branches = branch_count(rng);
+    for (std::size_t b = 0; b < branches; ++b) {
+      ActorId prev = tail;
+      const std::size_t length = branch_length(rng);
+      for (std::size_t i = 0; i < length; ++i) {
+        const ActorId node = new_actor(prefix + "_b" + std::to_string(b) +
+                                       "_" + std::to_string(i));
+        add_block_buffer(prev, node);
+        prev = node;
+      }
+      add_block_buffer(prev, join);
+    }
+    tail = join;
+  }
+  tail = add_segment(tail, "post");
+  const ActorId sink = new_actor("snk");
+  add_segment_buffer(tail, sink);
+
+  const ActorId constrained = spec.source_constrained ? source : sink;
+  const ThroughputConstraint constraint{constrained, spec.period};
+  auto scaled =
+      with_scaled_response_times(bare, constraint, spec.response_fraction);
+  VRDF_REQUIRE(scaled.has_value(),
+               "generated fork-join graph must be admissible by construction");
+  return SyntheticChain{std::move(*scaled), constraint};
+}
+
+AvSyncPipeline make_av_sync_pipeline() {
+  VrdfGraph bare;
+  const Duration dummy = seconds(Rational(1));
+  AvSyncPipeline model;
+  model.src = bare.add_actor("src", dummy);
+  model.demux = bare.add_actor("demux", dummy);
+  model.adec = bare.add_actor("adec", dummy);
+  model.vdec = bare.add_actor("vdec", dummy);
+  model.sync = bare.add_actor("sync", dummy);
+  model.present = bare.add_actor("present", dummy);
+
+  // Gears: src 4, demux 2, adec 3, vdec 8, sync 1, present 1 — every edge
+  // pins π̌ = g(producer), γ̂ = g(consumer), so both decoder branches
+  // demand the same pacing of the demultiplexer (φ(v) = g(v)·τ).  The
+  // fork-join block demux → {adec, vdec} → sync carries exact gear
+  // singletons (flow-balanced: per demux firing, 2 audio units become
+  // 2 PCM blocks while 2 video units become 2 picture tiles, and sync
+  // joins one of each), while the data-dependent variability lives on the
+  // chain segments: the demultiplexer consumes 0-2 stream sectors per
+  // firing (none while seeking), and the 25 Hz presentation actor
+  // consumes at most one composed frame (zero on a dropped frame).
+  model.src_demux = bare.add_buffer(model.src, model.demux,
+                                    RateSet::singleton(4), RateSet::of({0, 1, 2}));
+  model.demux_adec = bare.add_buffer(model.demux, model.adec,
+                                     RateSet::singleton(2), RateSet::singleton(3));
+  model.demux_vdec = bare.add_buffer(model.demux, model.vdec,
+                                     RateSet::singleton(2), RateSet::singleton(8));
+  model.adec_sync = bare.add_buffer(model.adec, model.sync,
+                                    RateSet::singleton(3), RateSet::singleton(1));
+  model.vdec_sync = bare.add_buffer(model.vdec, model.sync,
+                                    RateSet::singleton(8), RateSet::singleton(1));
+  model.sync_present = bare.add_buffer(model.sync, model.present,
+                                       RateSet::singleton(1), RateSet::of({0, 1}));
+
+  model.constraint =
+      ThroughputConstraint{model.present, milliseconds(Rational(40))};
+  auto scaled = with_scaled_response_times(bare, model.constraint, Rational(1));
+  VRDF_REQUIRE(scaled.has_value(), "A/V pipeline must be admissible");
+  model.graph = std::move(*scaled);
+  return model;
+}
+
 SyntheticChain make_video_pipeline() {
   VrdfGraph bare;
   const Duration dummy = seconds(Rational(1));

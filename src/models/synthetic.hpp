@@ -58,9 +58,88 @@ struct RandomChainSpec {
 /// A copy of `graph` whose response times are replaced by
 /// fraction · φ(v) for the given constraint — the generator used to
 /// produce admissible test instances from bare topologies.  Returns
-/// nullopt when pacing fails (not a chain, interior constraint, ...).
+/// nullopt when pacing fails (cyclic data edges, interior constraint,
+/// ...).  Works on any topology compute_pacing accepts, chains and
+/// fork-join graphs alike.
 [[nodiscard]] std::optional<dataflow::VrdfGraph> with_scaled_response_times(
     const dataflow::VrdfGraph& graph,
     const analysis::ThroughputConstraint& constraint, Rational fraction);
+
+/// Parameters of the random fork-join generator.  Rates follow a "gear"
+/// scheme: each actor v gets an integer gear g(v), and every data edge
+/// x→y pins its rate-determining quanta to π̌ = g(x), γ̂ = g(y) (sink
+/// mode; mirrored π̂ = g(x), γ̌ = g(y) in source mode).  Then
+/// φ(v) = g(v)·τ/g(constrained) uniformly, the min over a fork's
+/// out-edges is attained by every edge, and the per-pair sufficiency
+/// argument of Sec 4 composes across branches.
+///
+/// Variability placement matters: a variable quantum on an edge *inside*
+/// a fork-join block makes the realized token flows of sibling branches
+/// diverge (the join drains them in lockstep, so the surplus branch's
+/// buffer fills without bound and back-pressure stalls the fork — no
+/// finite capacity satisfies the constraint for every admissible
+/// sequence).  Block-internal edges therefore carry exact gear singletons
+/// {g(x)} / {g(y)}, which keeps sibling flows proportional for *every*
+/// sequence; data-dependent rate sets (including zero quanta on the
+/// tolerant side) live on the chain segments before the first fork,
+/// between stages, and after the last join, exactly like in
+/// make_random_chain.
+struct RandomForkJoinSpec {
+  std::uint64_t seed = 1;
+  /// Fork-join stages composed in series (>= 1): each stage forks into
+  /// 2..max_branches parallel branches of 1..max_branch_length actors and
+  /// joins them again.
+  std::size_t stages = 1;
+  std::size_t max_branches = 3;
+  std::size_t max_branch_length = 2;
+  /// Chain actors inserted before the first fork, between stages and
+  /// after the last join (0..max_segment_length each).
+  std::size_t max_segment_length = 1;
+  /// Gears are drawn from [1, max_gear].
+  std::int64_t max_gear = 8;
+  /// Upper cap for the free (non-gear) end of variable rate sets on chain
+  /// segments.
+  std::int64_t max_quantum = 16;
+  /// Probability (percent) that a chain-segment rate set is variable
+  /// around its gear.
+  int variable_percent = 50;
+  /// Probability (percent) that a variable tolerant-side set includes zero.
+  int zero_percent = 20;
+  /// Period of the constrained actor.
+  Duration period = milliseconds(Rational(1));
+  /// Response times are fraction · φ(v); 1/1 is the paper's tight setting.
+  Rational response_fraction = Rational(1);
+  /// Constrain the unique source instead of the unique sink (Sec 4.4).
+  bool source_constrained = false;
+};
+
+/// A random, admissible fork-join model: a series of fork-join stages
+/// between one data source and one data sink, never a plain chain.
+[[nodiscard]] SyntheticChain make_random_fork_join(const RandomForkJoinSpec& spec);
+
+/// An audio/video playback fork-join (sink-constrained):
+///
+///            ┌─> adec ─┐
+///  src → demux          sync → present
+///            └─> vdec ─┘
+///
+/// The source feeds the demultiplexer with variable-size stream chunks,
+/// the demultiplexer splits them into fixed audio and video elementary
+/// units, the decoders run at their own (gear-matched) rates, `sync`
+/// joins one PCM block with one picture tile per composed frame, and the
+/// `present` actor consumes composed frames strictly periodically at
+/// 25 Hz — dropping some (zero quantum).  Rates follow the gear scheme of
+/// RandomForkJoinSpec: both decoder branches impose the same pacing on
+/// the demultiplexer and carry flow-balanced static rates, while the
+/// data-dependent variability lives on the chain segments around the
+/// fork-join block.
+struct AvSyncPipeline {
+  dataflow::VrdfGraph graph;
+  dataflow::ActorId src, demux, adec, vdec, sync, present;
+  dataflow::BufferEdges src_demux, demux_adec, demux_vdec, adec_sync,
+      vdec_sync, sync_present;
+  analysis::ThroughputConstraint constraint;  // present at 25 Hz
+};
+[[nodiscard]] AvSyncPipeline make_av_sync_pipeline();
 
 }  // namespace vrdf::models

@@ -2,6 +2,8 @@
 // validation, and the SDF/CSDF substrate (consistency, conversions).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dataflow/csdf_graph.hpp"
 #include "dataflow/rate_set.hpp"
 #include "dataflow/sdf_graph.hpp"
@@ -155,6 +157,160 @@ TEST(VrdfGraph, ChainViewRejectsBranching) {
   (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
   (void)g.add_buffer(a, c, RateSet::singleton(1), RateSet::singleton(1));
   EXPECT_FALSE(g.chain_view().has_value());
+}
+
+TEST(VrdfGraph, BufferViewOnChainMatchesChainView) {
+  VrdfGraph g;
+  const ActorId c = g.add_actor("c", kRho);
+  const ActorId a = g.add_actor("a", kRho);
+  const ActorId b = g.add_actor("b", kRho);
+  const BufferEdges bc =
+      g.add_buffer(b, c, RateSet::singleton(1), RateSet::singleton(1));
+  const BufferEdges ab =
+      g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  const auto view = g.buffer_view();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->is_chain);
+  EXPECT_EQ(view->actors, (std::vector<ActorId>{a, b, c}));
+  ASSERT_EQ(view->buffers.size(), 2u);
+  EXPECT_EQ(view->buffers[0].data, ab.data);
+  EXPECT_EQ(view->buffers[1].data, bc.data);
+  EXPECT_EQ(view->data_sources, (std::vector<ActorId>{a}));
+  EXPECT_EQ(view->data_sinks, (std::vector<ActorId>{c}));
+}
+
+TEST(VrdfGraph, BufferViewOnDiamond) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kRho);
+  const ActorId b = g.add_actor("b", kRho);
+  const ActorId c = g.add_actor("c", kRho);
+  const ActorId d = g.add_actor("d", kRho);
+  const BufferEdges ab =
+      g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  const BufferEdges ac =
+      g.add_buffer(a, c, RateSet::singleton(1), RateSet::singleton(1));
+  const BufferEdges bd =
+      g.add_buffer(b, d, RateSet::singleton(1), RateSet::singleton(1));
+  const BufferEdges cd =
+      g.add_buffer(c, d, RateSet::singleton(1), RateSet::singleton(1));
+  const auto view = g.buffer_view();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->is_chain);
+  EXPECT_EQ(view->actors.front(), a);
+  EXPECT_EQ(view->actors.back(), d);
+  // a's two out-buffers come first (insertion order among equals), then
+  // the branch-to-join buffers.
+  ASSERT_EQ(view->buffers.size(), 4u);
+  EXPECT_EQ(view->buffers[0].data, ab.data);
+  EXPECT_EQ(view->buffers[1].data, ac.data);
+  EXPECT_EQ(view->out_buffers[a.index()],
+            (std::vector<std::size_t>{0, 1}));
+  ASSERT_EQ(view->in_buffers[d.index()].size(), 2u);
+  std::vector<EdgeId> join_inputs{
+      view->buffers[view->in_buffers[d.index()][0]].data,
+      view->buffers[view->in_buffers[d.index()][1]].data};
+  std::sort(join_inputs.begin(), join_inputs.end(),
+            [](EdgeId x, EdgeId y) { return x.value() < y.value(); });
+  EXPECT_EQ(join_inputs, (std::vector<EdgeId>{bd.data, cd.data}));
+  EXPECT_EQ(view->data_sources, (std::vector<ActorId>{a}));
+  EXPECT_EQ(view->data_sinks, (std::vector<ActorId>{d}));
+  // All four diamond edges lie on the reconvergent cycle.
+  EXPECT_EQ(view->on_reconvergent_path,
+            (std::vector<bool>{true, true, true, true}));
+}
+
+TEST(VrdfGraph, BufferViewMarksChainSegmentsAsNonReconvergent) {
+  // src → fork → {x, y} → join → snk: the two outer edges are bridges.
+  VrdfGraph g;
+  const ActorId src = g.add_actor("src", kRho);
+  const ActorId fork = g.add_actor("fork", kRho);
+  const ActorId x = g.add_actor("x", kRho);
+  const ActorId y = g.add_actor("y", kRho);
+  const ActorId join = g.add_actor("join", kRho);
+  const ActorId snk = g.add_actor("snk", kRho);
+  (void)g.add_buffer(src, fork, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(fork, x, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(fork, y, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(x, join, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(y, join, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(join, snk, RateSet::singleton(1), RateSet::singleton(1));
+  const auto view = g.buffer_view();
+  ASSERT_TRUE(view.has_value());
+  for (std::size_t pos = 0; pos < view->buffers.size(); ++pos) {
+    const Edge& data = g.edge(view->buffers[pos].data);
+    const bool is_segment_edge = data.source == src || data.target == snk;
+    EXPECT_EQ(view->on_reconvergent_path[pos], !is_segment_edge)
+        << "buffer " << pos;
+  }
+}
+
+TEST(VrdfGraph, BufferViewRejectsBareEdgesAndDataCycles) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kRho);
+  const ActorId b = g.add_actor("b", kRho);
+  (void)g.add_edge(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  EXPECT_FALSE(g.buffer_view().has_value());
+
+  VrdfGraph h;
+  const ActorId c = h.add_actor("c", kRho);
+  const ActorId d = h.add_actor("d", kRho);
+  (void)h.add_buffer(c, d, RateSet::singleton(1), RateSet::singleton(1));
+  (void)h.add_buffer(d, c, RateSet::singleton(1), RateSet::singleton(1));
+  EXPECT_FALSE(h.buffer_view().has_value());
+}
+
+TEST(VrdfGraph, BufferViewAllowsParallelBuffers) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kRho);
+  const ActorId b = g.add_actor("b", kRho);
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(a, b, RateSet::singleton(2), RateSet::singleton(2));
+  const auto view = g.buffer_view();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->is_chain);  // double fan-out is not the Sec 3.1 shape
+  EXPECT_EQ(view->buffers.size(), 2u);
+}
+
+TEST(Validation, DagModelAcceptsForkJoin) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kRho);
+  const ActorId b = g.add_actor("b", kRho);
+  const ActorId c = g.add_actor("c", kRho);
+  const ActorId d = g.add_actor("d", kRho);
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(a, c, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(b, d, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(c, d, RateSet::singleton(1), RateSet::singleton(1));
+  EXPECT_TRUE(validate_dag_model(g).ok());
+  // ...which the chain validator still rejects, with its Sec 3.1 message.
+  const ValidationReport chain_report = validate_chain_model(g);
+  ASSERT_FALSE(chain_report.ok());
+  EXPECT_NE(chain_report.summary().find("do not form a chain"),
+            std::string::npos);
+}
+
+TEST(Validation, DagModelRejectsDataCycle) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kRho);
+  const ActorId b = g.add_actor("b", kRho);
+  (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  (void)g.add_buffer(b, a, RateSet::singleton(1), RateSet::singleton(1));
+  const ValidationReport report = validate_dag_model(g);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("directed cycle"), std::string::npos);
+}
+
+TEST(Validation, DagModelReportsDisconnectionAndBareEdges) {
+  VrdfGraph g;
+  const ActorId a = g.add_actor("a", kRho);
+  const ActorId b = g.add_actor("b", kRho);
+  (void)g.add_actor("lonely", kRho);
+  (void)g.add_edge(a, b, RateSet::singleton(1), RateSet::singleton(1));
+  const ValidationReport report = validate_dag_model(g);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.summary().find("not weakly connected"), std::string::npos);
+  EXPECT_NE(report.summary().find("not part of a buffer pair"),
+            std::string::npos);
 }
 
 TEST(Validation, AcceptsConsistentChain) {

@@ -174,6 +174,59 @@ TEST(ChainOrder, RejectsMixedDirectionPath) {
   EXPECT_FALSE(chain_order(g).has_value());
 }
 
+TEST(ChainOrder, RejectsParallelForwardEdges) {
+  // Two a -> b edges leave the undirected shape a path, but the chain
+  // orientation is ambiguous (two candidate forward edges).
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, b);
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(ChainOrder, RejectsParallelForwardEdgesInsideLongerChain) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(b, c);
+  (void)g.add_edge(b, c);
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(ChainOrder, RejectsEmptyGraph) {
+  EXPECT_FALSE(chain_order(Digraph{}).has_value());
+}
+
+TEST(ChainOrder, RejectsSingleNodeWithSelfLoop) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  (void)g.add_edge(a, a);
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(ChainOrder, RejectsTwoIsolatedNodes) {
+  Digraph g;
+  (void)g.add_node();
+  (void)g.add_node();
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
+TEST(ChainOrder, RejectsDisconnectedUnionOfTwoPaths) {
+  // Degree profile looks chain-like (four endpoints fail fast), but also
+  // check a disconnected 2+2 shape where the pair count gives it away.
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(c, d);
+  EXPECT_FALSE(chain_order(g).has_value());
+}
+
 TEST(TopologicalOrder, OrdersDag) {
   Digraph g;
   const NodeId a = g.add_node();
@@ -192,6 +245,30 @@ TEST(TopologicalOrder, OrdersDag) {
   EXPECT_LT(position[b.index()], position[c.index()]);
 }
 
+TEST(TopologicalOrder, ReverseOrderPutsSuccessorsFirst) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, c);
+  (void)g.add_edge(b, c);
+  const auto reversed = reverse_topological_order(g);
+  ASSERT_TRUE(reversed.has_value());
+  std::vector<std::size_t> position(3);
+  for (std::size_t i = 0; i < reversed->size(); ++i) {
+    position[(*reversed)[i].index()] = i;
+  }
+  EXPECT_LT(position[c.index()], position[b.index()]);
+  EXPECT_LT(position[b.index()], position[a.index()]);
+  Digraph cyclic;
+  const NodeId x = cyclic.add_node();
+  const NodeId y = cyclic.add_node();
+  (void)cyclic.add_edge(x, y);
+  (void)cyclic.add_edge(y, x);
+  EXPECT_FALSE(reverse_topological_order(cyclic).has_value());
+}
+
 TEST(TopologicalOrder, DetectsCycle) {
   Digraph g;
   const NodeId a = g.add_node();
@@ -200,6 +277,56 @@ TEST(TopologicalOrder, DetectsCycle) {
   (void)g.add_edge(b, a);
   EXPECT_FALSE(topological_order(g).has_value());
   EXPECT_TRUE(has_directed_cycle(g));
+}
+
+TEST(Bridges, PathEdgesAreAllBridges) {
+  const Digraph g = path_graph(4);
+  const auto bridge = undirected_bridges(g);
+  ASSERT_EQ(bridge.size(), 3u);
+  for (const bool b : bridge) {
+    EXPECT_TRUE(b);
+  }
+}
+
+TEST(Bridges, DiamondEdgesAreNotBridgesButTailIs) {
+  //   a -> b -> d -> e
+  //   a -> c -> d
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  const NodeId e = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, c);
+  (void)g.add_edge(b, d);
+  (void)g.add_edge(c, d);
+  const EdgeId tail = g.add_edge(d, e);
+  const auto bridge = undirected_bridges(g);
+  EXPECT_EQ(bridge, (std::vector<bool>{false, false, false, false, true}));
+  EXPECT_TRUE(bridge[tail.index()]);
+}
+
+TEST(Bridges, ParallelEdgesAndSelfLoopsAreNotBridges) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(b, a);  // anti-parallel pair: undirected cycle
+  (void)g.add_edge(b, b);  // self-loop
+  (void)g.add_edge(b, c);  // bridge
+  EXPECT_EQ(undirected_bridges(g),
+            (std::vector<bool>{false, false, false, true}));
+}
+
+TEST(Bridges, DisconnectedComponentsHandled) {
+  Digraph g = path_graph(2);
+  const NodeId x = g.add_node();
+  const NodeId y = g.add_node();
+  (void)g.add_edge(x, y);
+  (void)g.add_edge(y, x);
+  EXPECT_EQ(undirected_bridges(g), (std::vector<bool>{true, false, false}));
 }
 
 TEST(Scc, FindsComponents) {

@@ -391,6 +391,46 @@ TEST(TickRationalEquivalence, Mp3ModelWithJitterReleaseDelayAndRecords) {
                           {app.b2.data, app.b3.data});
 }
 
+TEST(TickRationalEquivalence, RandomForkJoinGraphs) {
+  for (const std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    models::RandomForkJoinSpec spec;
+    spec.seed = seed;
+    spec.stages = 1 + seed % 2;
+    spec.max_branches = 3;
+    spec.max_segment_length = seed % 3;
+    spec.variable_percent = 60;
+    spec.zero_percent = 20;
+    const models::SyntheticChain model = models::make_random_fork_join(spec);
+    const analysis::GraphAnalysis sized =
+        analysis::compute_buffer_capacities(model.graph, model.constraint);
+    ASSERT_TRUE(sized.admissible) << "seed " << seed;
+    ASSERT_FALSE(sized.is_chain) << "seed " << seed;
+    dataflow::VrdfGraph graph = model.graph;
+    analysis::apply_capacities(graph, sized);
+    StopCondition stop;
+    stop.firing_target =
+        StopCondition::FiringTarget{model.constraint.actor, 300};
+    expect_paths_equivalent(graph, {}, stop);
+  }
+}
+
+TEST(TickRationalEquivalence, AvPipelineWithJitterAndDelays) {
+  models::AvSyncPipeline app = models::make_av_sync_pipeline();
+  const analysis::GraphAnalysis sized =
+      analysis::compute_buffer_capacities(app.graph, app.constraint);
+  ASSERT_TRUE(sized.admissible);
+  analysis::apply_capacities(app.graph, sized);
+  const Configure configure = [&](Simulator& sim) {
+    sim.set_response_time_jitter(app.vdec, 23, Rational(2, 5));
+    sim.set_response_time_jitter(app.adec, 5, Rational(1, 2));
+    sim.inject_release_delay(app.demux, 9, milliseconds(Rational(3, 7)));
+  };
+  StopCondition stop;
+  stop.firing_target = StopCondition::FiringTarget{app.present, 1000};
+  expect_paths_equivalent(app.graph, configure, stop,
+                          {app.demux_adec.data, app.vdec_sync.data});
+}
+
 TEST(TickRationalEquivalence, PeriodicAndRateLimitedModes) {
   VrdfGraph g;
   const ActorId a = g.add_actor("a", kMs);
