@@ -91,7 +91,7 @@ int main() {
 
   const Duration tau = milliseconds(Rational(2));
   const analysis::ThroughputConstraint constraint{actors.back(), tau};
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(graph, constraint);
   if (!sized.admissible) {
     std::cerr << "VRDF abstraction inadmissible:\n";

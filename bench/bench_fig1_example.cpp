@@ -58,7 +58,7 @@ int main() {
 
   const Duration tau = milliseconds(Rational(3));
   const models::Fig1Vrdf model = models::make_fig1_vrdf(tau, tau, tau);
-  const analysis::ChainAnalysis analysis =
+  const analysis::GraphAnalysis analysis =
       analysis::compute_buffer_capacities(model.graph, model.constraint);
 
   io::Table table({"consumption quantum", "min capacity (deadlock-free)",

@@ -27,7 +27,7 @@ std::string ms(const TimePoint& t) {
 int main() {
   const Duration tau = milliseconds(Rational(3));
   const models::Fig1Vrdf model = models::make_fig1_vrdf(tau, tau, tau);
-  const analysis::ChainAnalysis chain =
+  const analysis::GraphAnalysis chain =
       analysis::compute_buffer_capacities(model.graph, model.constraint);
   const analysis::PairAnalysis& pair = chain.pairs[0];
   const analysis::PairBounds bounds =

@@ -29,7 +29,7 @@ int main() {
   std::cout << rho_table.to_string() << '\n';
 
   // E3: the capacity table.
-  const analysis::ChainAnalysis ours =
+  const analysis::GraphAnalysis ours =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   const baseline::TraditionalResult trad =
       baseline::traditional_chain_capacities(app.graph);

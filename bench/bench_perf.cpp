@@ -18,7 +18,7 @@ using namespace vrdf;
 void BM_Mp3CapacityComputation(benchmark::State& state) {
   const models::Mp3Playback app = models::make_mp3_playback();
   for (auto _ : state) {
-    const analysis::ChainAnalysis result =
+    const analysis::GraphAnalysis result =
         analysis::compute_buffer_capacities(app.graph, app.constraint);
     benchmark::DoNotOptimize(result.total_capacity);
   }
@@ -32,7 +32,7 @@ void BM_ChainCapacityVsLength(benchmark::State& state) {
   spec.max_quantum = 8;
   const models::SyntheticChain chain = models::make_random_chain(spec);
   for (auto _ : state) {
-    const analysis::ChainAnalysis result =
+    const analysis::GraphAnalysis result =
         analysis::compute_buffer_capacities(chain.graph, chain.constraint);
     benchmark::DoNotOptimize(result.total_capacity);
   }
@@ -89,7 +89,7 @@ BENCHMARK(BM_SimulatorFiringsExactRational);
 void BM_SimulatorMp3Second(benchmark::State& state) {
   // One second of MP3 playback (44100 DAC ticks) per iteration.
   models::Mp3Playback app = models::make_mp3_playback();
-  const analysis::ChainAnalysis result =
+  const analysis::GraphAnalysis result =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   analysis::apply_capacities(app.graph, result);
   std::int64_t fired = 0;

@@ -30,7 +30,7 @@ struct Profile {
 int main() {
   std::cout << "E9 — occupancy and residency of the sized MP3 chain\n\n";
   models::Mp3Playback app = models::make_mp3_playback();
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   analysis::apply_capacities(app.graph, sized);
 

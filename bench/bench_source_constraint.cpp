@@ -37,7 +37,7 @@ dataflow::VrdfGraph reversed(const dataflow::VrdfGraph& g) {
 int main() {
   std::cout << "E7 — source-constrained chain (Sec 4.4)\n\n";
   models::SyntheticChain chain = models::make_sensor_acquisition();
-  const analysis::ChainAnalysis source_side =
+  const analysis::GraphAnalysis source_side =
       analysis::compute_buffer_capacities(chain.graph, chain.constraint);
   if (!source_side.admissible) {
     std::cerr << "analysis failed\n";
@@ -71,7 +71,7 @@ int main() {
   // the same capacities (Sec 4.4 is the exact mirror of Sec 4.2/4.3).
   const dataflow::VrdfGraph mirror = reversed(chain.graph);
   const auto mirror_view = mirror.chain_view();
-  const analysis::ChainAnalysis sink_side = analysis::compute_buffer_capacities(
+  const analysis::GraphAnalysis sink_side = analysis::compute_buffer_capacities(
       mirror, analysis::ThroughputConstraint{mirror_view->actors.back(),
                                              chain.constraint.period});
   bool mirror_ok = sink_side.admissible &&

@@ -42,7 +42,7 @@ int main() {
         analysis::RoundingMode::PaperLiteral, analysis::RoundingMode::Ceil}) {
     analysis::AnalysisOptions options;
     options.rounding = mode;
-    const analysis::ChainAnalysis a =
+    const analysis::GraphAnalysis a =
         analysis::compute_buffer_capacities(app.graph, app.constraint, options);
     modes.add_row({mode_name(mode), std::to_string(a.pairs[0].capacity),
                    std::to_string(a.pairs[1].capacity),
@@ -54,7 +54,7 @@ int main() {
   // Part 2: per-sequence exact minima on the Fig 1 pair.
   const Duration tau = milliseconds(Rational(3));
   const models::Fig1Vrdf fig1 = models::make_fig1_vrdf(tau, tau, tau);
-  const analysis::ChainAnalysis fig1_analysis =
+  const analysis::GraphAnalysis fig1_analysis =
       analysis::compute_buffer_capacities(fig1.graph, fig1.constraint);
   const std::int64_t analysis_capacity = fig1_analysis.pairs[0].capacity;
 

@@ -25,7 +25,7 @@ using namespace vrdf;
 /// times are re-derived per sweep point as the maximal admissible values
 /// (like the paper does for its single point), because a faster decoder
 /// maximum tightens the upstream pacing.
-analysis::ChainAnalysis analyse_with_decoder_interval(std::int64_t n_min,
+analysis::GraphAnalysis analyse_with_decoder_interval(std::int64_t n_min,
                                                       std::int64_t n_max) {
   dataflow::VrdfGraph bare;
   const auto br = bare.add_actor("vBR", seconds(Rational(1)));
@@ -54,7 +54,7 @@ int main() {
                 "d1 overhead"});
   const std::int64_t trad_d1 = baseline::sriram_pair_capacity(2048, 960);
   for (const std::int64_t n_min : {960LL, 720LL, 480LL, 240LL, 96LL, 0LL}) {
-    const analysis::ChainAnalysis a =
+    const analysis::GraphAnalysis a =
         analyse_with_decoder_interval(n_min, 960);
     if (!a.admissible) {
       std::cerr << "unexpected inadmissible sweep point\n";
@@ -79,7 +79,7 @@ int main() {
   io::Table t2({"n_max", "bytes/s at 48kHz", "d1 (VRDF)",
                 "traditional 2(p+c-gcd)", "phi(vBR) ms"});
   for (const std::int64_t n_max : {240LL, 480LL, 720LL, 960LL, 1440LL}) {
-    const analysis::ChainAnalysis a = analyse_with_decoder_interval(0, n_max);
+    const analysis::GraphAnalysis a = analyse_with_decoder_interval(0, n_max);
     if (!a.admissible) {
       std::cerr << "unexpected inadmissible sweep point\n";
       return 1;

@@ -8,16 +8,27 @@
 #               is derived from git as <last "PR <n>:" commit> + 1, i.e.
 #               the number of the PR currently in development
 #   BENCH_OUT   output file name (default: BENCH_PR${BENCH_PR}.json)
+#
+# The script refuses to guess: when BENCH_OUT is unset and neither
+# BENCH_PR nor a "PR <n>:" commit subject determines the PR number, it
+# exits non-zero instead of writing a misnamed JSON.
 set -eu
 
 out_dir="${1:-.}"
 bin="${BENCH_BIN:-./bench_perf}"
 
-if [ -z "${BENCH_PR:-}" ]; then
+if [ -z "${BENCH_OUT:-}" ] && [ -z "${BENCH_PR:-}" ]; then
   repo_root="$(cd "$(dirname "$0")/.." && pwd)"
   last_pr="$(git -C "$repo_root" log --pretty=%s 2>/dev/null |
              sed -n 's/^PR \([0-9][0-9]*\):.*/\1/p' | head -n 1 || true)"
-  BENCH_PR=$(( ${last_pr:-0} + 1 ))
+  if [ -z "$last_pr" ]; then
+    echo "run_bench.sh: cannot determine the output name: BENCH_PR is" >&2
+    echo "unset and no 'PR <n>:' commit subject was found in the git" >&2
+    echo "history of $repo_root." >&2
+    echo "Set BENCH_PR=<n> or BENCH_OUT=<file> explicitly." >&2
+    exit 1
+  fi
+  BENCH_PR=$(( last_pr + 1 ))
 fi
 out="${BENCH_OUT:-BENCH_PR${BENCH_PR}.json}"
 

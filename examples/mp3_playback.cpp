@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
               << " ms\n";
   }
 
-  const analysis::ChainAnalysis ours =
+  const analysis::GraphAnalysis ours =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   const baseline::TraditionalResult trad =
       baseline::traditional_chain_capacities(app.graph);

@@ -32,7 +32,7 @@ int main() {
   // Step 3: wb must run strictly periodically every 3 ms.
   const analysis::ThroughputConstraint constraint{
       model.actor_of_task[wb.index()], milliseconds(Rational(3))};
-  const analysis::ChainAnalysis result =
+  const analysis::GraphAnalysis result =
       analysis::compute_buffer_capacities(model.graph, constraint);
   if (!result.admissible) {
     std::cerr << "constraint not satisfiable:\n";

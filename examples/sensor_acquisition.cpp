@@ -21,7 +21,7 @@ int main() {
 
   models::SyntheticChain chain = models::make_sensor_acquisition();
 
-  const analysis::ChainAnalysis result =
+  const analysis::GraphAnalysis result =
       analysis::compute_buffer_capacities(chain.graph, chain.constraint);
   if (!result.admissible) {
     std::cerr << "analysis failed:\n";

@@ -22,7 +22,7 @@ int main() {
 
   models::SyntheticChain chain = models::make_video_pipeline();
 
-  const analysis::ChainAnalysis ours =
+  const analysis::GraphAnalysis ours =
       analysis::compute_buffer_capacities(chain.graph, chain.constraint);
   const baseline::TraditionalResult trad =
       baseline::traditional_chain_capacities(chain.graph);

@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
 
   analysis::AnalysisOptions analysis_options;
   analysis_options.rounding = options.rounding;
-  analysis::ChainAnalysis result = analysis::compute_buffer_capacities(
+  analysis::GraphAnalysis result = analysis::compute_buffer_capacities(
       doc.graph, *doc.constraint, analysis_options);
   if (!result.admissible) {
     std::cerr << "constraint not satisfiable:\n";

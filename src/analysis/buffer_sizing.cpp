@@ -1,5 +1,6 @@
 #include "analysis/buffer_sizing.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "analysis/pacing.hpp"
@@ -40,6 +41,7 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
   }
   analysis.side = pacing.side;
   analysis.is_chain = pacing.is_chain;
+  analysis.is_cyclic = pacing.is_cyclic;
   analysis.actors_in_order = pacing.actors_in_order;
   analysis.pacing = pacing.pacing;
 
@@ -145,16 +147,27 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
       pair.bound_rate = pair.pacing_basis / Rational(pi_max);
     }
 
+    pair.is_feedback = view.is_feedback[i];
+    pair.initial_tokens = data.initial_tokens;
+
     const Duration& rho_b = graph.actor(pair.consumer).response_time;
     // Eq (1): the upper bound on data production must cover token x while
     // the lower bound on space consumption covers token x + π̂ - 1 of the
     // same firing, consumed ρ(v_a) earlier than the production — plus, on
     // fork-join graphs, the alignment gap to the far endpoint's actual
-    // schedule.  On a chain this is exactly ρ(v_a) + s·(π̂ − 1).
-    pair.delta_producer =
+    // schedule.  On a chain this is exactly ρ(v_a) + s·(π̂ − 1); on a
+    // skeleton edge the alignment gap is always ≥ that chain-local value,
+    // so the max below reproduces the acyclic analysis bit-for-bit.  On a
+    // back-edge the consumer *leads* the producer (the gap is ≤ 0) and
+    // the chain-local term is the binding one.
+    const Duration alignment_gap =
         analysis.side == ConstraintSide::Sink
             ? lead[pair.producer.index()] - lead[pair.consumer.index()]
             : lead[pair.consumer.index()] - lead[pair.producer.index()];
+    const Duration chain_local =
+        graph.actor(pair.producer).response_time +
+        pair.bound_rate * Rational(pi_max - 1);
+    pair.delta_producer = std::max(alignment_gap, chain_local);
     // Eq (2): symmetric for the consumer with its maximum quantum γ̂.
     pair.delta_consumer = rho_b + pair.bound_rate * Rational(gamma_max - 1);
     // Eq (3).
@@ -164,20 +177,61 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     // The tight value x (without the +1) is sound exactly when the pair is
     // static and sits at the constrained end of the graph: the constrained
     // actor's transfer times are exactly periodic, so the delay slack the
-    // +1 provides cannot be needed.
+    // +1 provides cannot be needed.  Back-edges never qualify — their
+    // consumer's schedule is pinned to the whole loop, not to the
+    // constrained actor alone.
     const bool adjacent_to_constrained =
         analysis.side == ConstraintSide::Sink
             ? data.target == constraint.actor
             : data.source == constraint.actor;
-    pair.capacity =
-        round_capacity(pair.raw_tokens, pair.is_static && adjacent_to_constrained,
-                       options.rounding);
+    pair.capacity = round_capacity(
+        pair.raw_tokens,
+        pair.is_static && adjacent_to_constrained && !pair.is_feedback,
+        options.rounding);
+    // Cycle throughput bound (the max-cycle-ratio constraint, period ≥
+    // cycle latency / initial tokens, in its schedule-aligned form).  On
+    // a back-edge the consumer's constructed schedule *leads* the
+    // producer's by the reversed alignment gap, consuming from the δ
+    // circulating tokens that far ahead of replenishment; the tokens must
+    // also cover the producer's transfer slack ρ(p) + s·(π̂−1) (its
+    // production lands that late against its linear bound) and the
+    // consumer's per-firing jump s·(γ̂−1).  δ below ⌈that credit⌉ cannot
+    // sustain the period — diagnose instead of emitting starving
+    // capacities (the leads are δ-independent, so the requirement can be
+    // used to size a loop's tokens).
+    if (pair.is_feedback) {
+      const Duration reverse_gap =
+          analysis.side == ConstraintSide::Sink
+              ? lead[pair.consumer.index()] - lead[pair.producer.index()]
+              : lead[pair.producer.index()] - lead[pair.consumer.index()];
+      pair.required_initial_tokens =
+          ((reverse_gap + chain_local + pair.bound_rate * Rational(gamma_max - 1)) /
+           pair.bound_rate)
+              .ceil();
+      if (pair.initial_tokens < pair.required_initial_tokens) {
+        std::ostringstream os;
+        os << "cycle through back-edge " << graph.actor(pair.producer).name
+           << " -> " << graph.actor(pair.consumer).name << ": delta="
+           << pair.initial_tokens
+           << " initial tokens cannot sustain the period; the cycle's "
+              "schedule-alignment credit requires at least "
+           << pair.required_initial_tokens
+           << " (the max-cycle-ratio bound period >= cycle latency / "
+              "initial tokens) — add initial tokens or relax the period";
+        analysis.diagnostics.push_back(os.str());
+        admissible = false;
+      }
+    }
+    // The containers holding the initial tokens come on top of the
+    // schedule slack: a back-edge's capacity covers its circulating
+    // tokens plus the cycle's alignment slack.
+    pair.capacity = checked_add(pair.capacity, pair.initial_tokens);
     analysis.total_capacity =
         checked_add(analysis.total_capacity, pair.capacity);
     analysis.pairs.push_back(pair);
   }
 
-  analysis.admissible = true;
+  analysis.admissible = admissible;
   return analysis;
 }
 
@@ -185,7 +239,12 @@ void apply_capacities(VrdfGraph& graph, const GraphAnalysis& analysis) {
   VRDF_REQUIRE(analysis.admissible,
                "cannot apply capacities of an inadmissible analysis");
   for (const PairAnalysis& pair : analysis.pairs) {
-    graph.set_initial_tokens(pair.buffer.space, pair.capacity);
+    // δ(space) holds the *free* containers: the ones occupied by initial
+    // data tokens (back-edges) are already in circulation.
+    graph.set_initial_tokens(
+        pair.buffer.space,
+        checked_sub(pair.capacity,
+                    graph.edge(pair.buffer.data).initial_tokens));
   }
 }
 

@@ -1,8 +1,12 @@
 // Buffer-capacity computation (Sec 4) — the paper's main contribution,
-// generalised from chains to fork-join graphs: the per-pair bound below
-// only needs the pacing of the buffer's own endpoints, so it applies to
-// every buffer edge of an acyclic topology once pacing has been
-// propagated per edge (see analysis/pacing.hpp).
+// generalised from chains to fork-join graphs and to cyclic graphs whose
+// back-edges carry initial tokens: the per-pair bound below only needs
+// the pacing of the buffer's own endpoints, so it applies to every buffer
+// edge once pacing has been propagated per edge (see analysis/pacing.hpp).
+// A back-edge's capacity additionally covers its circulating tokens (the
+// δ initial tokens come on top of the schedule slack), and the throughput
+// constraint is gated by the max-cycle-ratio bound: period ≥ cycle
+// latency / initial-token credit for every directed cycle.
 //
 // For every producer-consumer pair of the graph the algorithm:
 //  1. takes the pair's bound rate s = φ/γ̂ (sink mode) or φ/π̂ (source
@@ -30,23 +34,27 @@
 
 namespace vrdf::analysis {
 
-/// Computes buffer capacities for an acyclic VRDF graph (chain or
-/// fork-join) so that the throughput constraint is satisfied for *every*
-/// admissible sequence of production/consumption quanta.  Returns an
-/// inadmissible result with diagnostics (never throws) for model-level
-/// infeasibility:
-///  * the graph is not a consistent acyclic network of buffers;
+/// Computes buffer capacities for a VRDF graph (chain, fork-join DAG, or
+/// cyclic with tokened back-edges) so that the throughput constraint is
+/// satisfied for *every* admissible sequence of production/consumption
+/// quanta.  Returns an inadmissible result with diagnostics (never
+/// throws) for model-level infeasibility:
+///  * the graph is not a consistent network of buffers, or contains a
+///    token-free directed cycle (validate_cyclic_model);
 ///  * the constrained actor is not the graph's unique data source or sink;
 ///  * a zero minimum quantum on the rate-determining side;
 ///  * a response time exceeding the actor's pacing, ρ(v) > φ(v)
-///    (the producer/consumer schedule validity constraints of Sec 4.2).
+///    (the producer/consumer schedule validity constraints of Sec 4.2);
+///  * a directed cycle whose latency exceeds its initial-token credit —
+///    the max-cycle-ratio bound period ≥ cycle latency / initial tokens.
 [[nodiscard]] GraphAnalysis compute_buffer_capacities(
     const dataflow::VrdfGraph& graph, const ThroughputConstraint& constraint,
     const AnalysisOptions& options = {});
 
 /// Writes the computed capacities into the graph: δ(space edge) of every
-/// analysed buffer is set to the pair's capacity.  Requires an admissible
-/// analysis of this very graph.
+/// analysed buffer is set to the pair's capacity minus the containers the
+/// buffer's initial data tokens occupy.  Requires an admissible analysis
+/// of this very graph.
 void apply_capacities(dataflow::VrdfGraph& graph, const GraphAnalysis& analysis);
 
 /// Maximal admissible worst-case response times (the paper derives the MP3

@@ -37,9 +37,9 @@ std::int64_t min_deadlock_free_pair_capacity(
 std::vector<std::int64_t> min_deadlock_free_capacities(
     const dataflow::VrdfGraph& graph) {
   const dataflow::ValidationReport validation =
-      dataflow::validate_dag_model(graph);
+      dataflow::validate_cyclic_model(graph);
   if (!validation.ok()) {
-    throw ModelError("not an acyclic network of buffers: " +
+    throw ModelError("not a consistent network of buffers: " +
                      validation.summary());
   }
   const auto view = graph.buffer_view();
@@ -47,8 +47,11 @@ std::vector<std::int64_t> min_deadlock_free_capacities(
   minima.reserve(view->buffers.size());
   for (const dataflow::BufferEdges& b : view->buffers) {
     const dataflow::Edge& data = graph.edge(b.data);
-    minima.push_back(
-        min_deadlock_free_pair_capacity(data.production, data.consumption));
+    // Initial tokens occupy containers from t=0 on: the pair slack must
+    // exist on top of them or the capacity itself deadlocks the loop.
+    minima.push_back(checked_add(
+        min_deadlock_free_pair_capacity(data.production, data.consumption),
+        data.initial_tokens));
   }
   return minima;
 }

@@ -50,10 +50,20 @@ namespace vrdf::analysis {
 [[nodiscard]] std::int64_t min_deadlock_free_pair_capacity(
     const dataflow::RateSet& production, const dataflow::RateSet& consumption);
 
-/// The per-buffer minima for a whole acyclic graph, ordered like
-/// GraphAnalysis::pairs (producer-topological order; chain order on
-/// chains).  Throws ModelError when the graph is not a consistent acyclic
-/// network of buffers.
+/// The per-buffer minima for a whole graph (acyclic or cyclic with
+/// tokened back-edges), ordered like GraphAnalysis::pairs
+/// (producer-topological order; chain order on chains).  On a DAG the
+/// per-pair formula is the whole story — deadlock is a pair-local
+/// phenomenon there.  With cycles, deadlock becomes reachable through the
+/// loop itself: a back-edge's capacity must hold its δ circulating tokens
+/// *in addition to* the pair slack (a capacity that pinches the loop's
+/// tokens strangles the cycle), so feedback buffers report
+/// δ + π̂ + γ̂ − g.  Whether δ itself is large enough for the cycle to
+/// complete an iteration is a model property this function cannot repair;
+/// validate_cyclic_model rejects the always-dead case δ = 0 and the
+/// simulation harness detects insufficient δ as a phase-1 deadlock.
+/// Throws ModelError when the graph is not a consistent network of
+/// buffers (token-free cycles included).
 [[nodiscard]] std::vector<std::int64_t> min_deadlock_free_capacities(
     const dataflow::VrdfGraph& graph);
 

@@ -17,7 +17,7 @@ PacingResult compute_pacing(const VrdfGraph& graph,
   PacingResult result;
 
   const dataflow::ValidationReport validation =
-      dataflow::validate_dag_model(graph);
+      dataflow::validate_cyclic_model(graph);
   if (!validation.ok()) {
     result.diagnostics = validation.errors;
     return result;
@@ -28,9 +28,11 @@ PacingResult compute_pacing(const VrdfGraph& graph,
   }
 
   auto view = graph.buffer_view();
-  // validate_dag_model already guaranteed an acyclic buffer network.
+  // validate_cyclic_model already guaranteed a buffer network whose
+  // cycles all break at tokened back-edges, so the skeleton is acyclic.
   result.view = std::move(*view);
   result.is_chain = result.view.is_chain;
+  result.is_cyclic = result.view.is_cyclic;
   result.actors_in_order = result.view.actors;
   result.buffers_in_order = result.view.buffers;
   const char* const shape = result.is_chain ? "chains" : "graphs";
@@ -188,6 +190,35 @@ PacingResult compute_pacing(const VrdfGraph& graph,
       }
       VRDF_REQUIRE(phi.is_positive(), "unpaced actor in source propagation");
       result.pacing_by_actor[v.index()] = phi;
+    }
+  }
+
+  // Back-edge flow consistency: a tokened back-edge adds no propagation
+  // demand (both endpoints are paced through the skeleton), but the
+  // circulating flow around its cycle must balance: tokens produced per
+  // second (π/φ(producer)) must equal tokens consumed per second
+  // (γ/φ(consumer)).  Rates on cycle edges are static (validated), so an
+  // imbalance is a modeling error no capacity can absorb.
+  for (const std::size_t pos : result.view.feedback_buffers) {
+    const Edge& data = graph.edge(result.buffers_in_order[pos].data);
+    const Duration produced_side =
+        result.pacing_by_actor[data.target.index()] *
+        Rational(data.production.min());
+    const Duration consumed_side =
+        result.pacing_by_actor[data.source.index()] *
+        Rational(data.consumption.min());
+    if (produced_side != consumed_side) {
+      std::ostringstream os;
+      os << "back-edge " << graph.actor(data.source).name << " -> "
+         << graph.actor(data.target).name << ": static rates (pi="
+         << data.production << ", gamma=" << data.consumption
+         << ") are flow-inconsistent with the propagated pacing ("
+         << result.pacing_by_actor[data.source.index()].seconds().to_string()
+         << " s vs "
+         << result.pacing_by_actor[data.target.index()].seconds().to_string()
+         << " s); the cycle's circulating token count would drift";
+      result.diagnostics.push_back(os.str());
+      return result;
     }
   }
 

@@ -1,5 +1,6 @@
 // Pacing propagation over the buffer graph (Sec 4.3 / 4.4, generalised
-// from chains to fork-join DAGs).
+// from chains to fork-join DAGs and to cyclic graphs whose back-edges
+// carry initial tokens).
 //
 // The throughput constraint fixes the pacing of one end of the graph:
 // φ(constrained actor) = τ.  Pacing then propagates per buffer edge:
@@ -20,6 +21,16 @@
 // φ(v) is simultaneously the minimal required difference between
 // subsequent starts of v and the maximal admissible worst-case response
 // time κ(w) (the paper derives the MP3 response times this way).
+//
+// Cyclic graphs: the propagation runs on the acyclic *skeleton* (the data
+// edges minus the tokened back-edges) — equivalently, over the
+// condensation DAG, since every SCC's cycles break at back-edges.  A
+// back-edge imposes no propagation demand of its own (its endpoints are
+// both paced through the skeleton), but its static rates must agree with
+// the propagated pacing: π/φ(producer) = γ/φ(consumer), i.e. the
+// circulating flow around every cycle must balance.  Inconsistent
+// back-edges are rejected with diagnostics, mirroring the fork-join
+// reconvergent-path rejection.
 #pragma once
 
 #include <optional>
@@ -37,8 +48,11 @@ struct PacingResult {
   ConstraintSide side = ConstraintSide::Sink;
   /// True when the data edges form a chain (Sec 3.1 shape).
   bool is_chain = false;
+  /// True when the data edges contain directed cycles (broken at tokened
+  /// back-edges).
+  bool is_cyclic = false;
   /// The buffer network the propagation ran on (valid whenever the graph
-  /// passed validate_dag_model, even if pacing itself failed) — shared
+  /// passed validate_cyclic_model, even if pacing itself failed) — shared
   /// with the capacity and min-period computations so the topological
   /// structure is built once.
   dataflow::VrdfGraph::BufferView view;
@@ -71,7 +85,11 @@ struct PacingResult {
 ///  * conflicting per-edge pacing demands at a fork (sink mode) or join
 ///    (source mode) — with static reconvergent rates this is exactly
 ///    rate inconsistency around an undirected cycle of the data graph,
-///    which no capacities can buffer away.
+///    which no capacities can buffer away;
+///  * a back-edge whose static rates disagree with the skeleton-propagated
+///    pacing of its endpoints — flow around the directed cycle would not
+///    balance, so the circulating token count drifts and either the loop
+///    starves or its buffer fills regardless of capacity.
 [[nodiscard]] PacingResult compute_pacing(const dataflow::VrdfGraph& graph,
                                           const ThroughputConstraint& constraint);
 

@@ -138,6 +138,7 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
       tighten_infimum(a.response_time.seconds() / c_v, true);
     }
 
+
     // Capacity constraints per pair: with delta_total = R + C·τ and
     // s = (c/q)·τ, sufficiency x = delta_total/s ≤ d − adj becomes
     //   τ ≥ q·R / (c·(d − adj − q·C/c)).
@@ -157,11 +158,16 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
       const bool adjacent = unit.side == ConstraintSide::Sink
                                 ? data.target == actor
                                 : data.source == actor;
+      // Back-edges never qualify for the tight rounding (see the forward
+      // analysis), so their slack keeps the Eq (4) +1.
       const bool tight = options.rounding == RoundingMode::Ceil ||
                          (options.rounding == RoundingMode::PaperPublished &&
-                          is_static && adjacent);
+                          is_static && adjacent && !view.is_feedback[i]);
 
-      const AffineLead gap =
+      // Δ_producer = max(alignment gap, chain-local ρ_a + s·(π̂−1)) — the
+      // affine branch is chosen at the candidate period, like the
+      // alignment max itself, and validated by forward verification.
+      const AffineLead aligned =
           unit.side == ConstraintSide::Sink
               ? AffineLead{lead[data.source.index()].resp -
                                lead[data.target.index()].resp,
@@ -171,6 +177,16 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
                                lead[data.source.index()].resp,
                            lead[data.target.index()].rate -
                                lead[data.source.index()].rate};
+      const AffineLead chain_local{
+          graph.actor(data.source).response_time.seconds(),
+          rate_coefficient(data) * Rational(pi_max - 1)};
+      // Ties keep `aligned`, which on skeleton edges is always ≥ the
+      // chain-local value — acyclic graphs reproduce the pre-cyclic
+      // results exactly.
+      const AffineLead gap =
+          chain_local.at(candidate_tau) > aligned.at(candidate_tau)
+              ? chain_local
+              : aligned;
       const Rational c = unit.side == ConstraintSide::Sink
                              ? unit.pacing_of(data.target).seconds()
                              : unit.pacing_of(data.source).seconds();
@@ -208,6 +224,34 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
         tighten_infimum(
             Rational(q) * resp_part / (c * (margin + Rational(1))), false);
       }
+
+      // Back-edges additionally carry the cycle bound (see the forward
+      // analysis): the δ circulating tokens must cover the reversed
+      // alignment gap plus the transfer slack,
+      //   (rev + ρ_p)/s + (π̂−1) + (γ̂−1) ≤ δ,  s = (c/q)·τ
+      // ⇔ τ ≥ q·(rev.resp + ρ_p) / (c·(δ − (π̂−1) − (γ̂−1) − q·rev.rate/c)).
+      if (view.is_feedback[i]) {
+        const AffineLead reverse{-aligned.resp, -aligned.rate};
+        const Rational token_margin =
+            Rational(data.initial_tokens) - Rational(pi_max - 1) -
+            Rational(gamma_max - 1) - reverse.rate * Rational(q) / c;
+        const Rational cycle_resp =
+            reverse.resp + graph.actor(data.source).response_time.seconds();
+        const std::string cycle_label = "cycle through back-edge " +
+                                        graph.actor(data.source).name + "->" +
+                                        graph.actor(data.target).name;
+        if (!token_margin.is_positive()) {
+          std::ostringstream os;
+          os << cycle_label << ": delta=" << data.initial_tokens
+             << " initial tokens cannot sustain any rate (the cycle's "
+                "transfer slack alone consumes the credit)";
+          result.diagnostics.push_back(os.str());
+          diagnosed = true;
+          break;
+        }
+        tighten(Rational(q) * cycle_resp / (c * token_margin), cycle_label);
+        tighten_infimum(Rational(q) * cycle_resp / (c * token_margin), true);
+      }
     }
     if (diagnosed) {
       return result;
@@ -240,8 +284,10 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
   bool fits = forward.admissible;
   if (fits) {
     for (const PairAnalysis& pair : forward.pairs) {
-      fits = fits &&
-             pair.capacity <= graph.edge(pair.buffer.space).initial_tokens;
+      // pair.capacity is the *total* container count; compare against the
+      // installed total (free containers + containers holding initial
+      // tokens).
+      fits = fits && pair.capacity <= graph.buffer_capacity(pair.buffer);
     }
   }
   if (!fits) {

@@ -53,11 +53,14 @@ struct MinPeriodResult {
   std::string binding_constraint;
 };
 
-/// Reads each buffer's installed capacity from δ(space edge) and returns
-/// the fastest admissible strictly periodic rate of `actor` (which must be
-/// the chain's source or sink).  Inadmissible situations (zero capacity,
-/// capacity below the structural minimum π̂+γ̂−1, rate-side zero quanta)
-/// yield ok == false with diagnostics.
+/// Reads each buffer's installed free-container count from δ(space edge)
+/// and returns the fastest admissible strictly periodic rate of `actor`
+/// (which must be the graph's unique data source or sink).  On cyclic
+/// graphs the result additionally honours the max-cycle-ratio bound:
+/// period ≥ cycle latency / initial-token credit for every directed cycle
+/// (the binding_constraint then names the back-edge).  Inadmissible
+/// situations (zero capacity, capacity below the structural minimum
+/// π̂+γ̂−1, rate-side zero quanta) yield ok == false with diagnostics.
 [[nodiscard]] MinPeriodResult min_admissible_period(
     const dataflow::VrdfGraph& graph, dataflow::ActorId actor,
     const AnalysisOptions& options = {});

@@ -76,15 +76,30 @@ struct PairAnalysis {
   Duration delta_consumer;
   /// Eq (3): delta_producer + delta_consumer.
   Duration delta_total;
-  /// Raw token count x = Δ/s of Eq (4), before rounding.
+  /// Raw token count x = Δ/s of Eq (4), before rounding.  Measures the
+  /// schedule-slack part only; initial tokens are added after rounding.
   Rational raw_tokens;
-  /// Computed capacity ζ(b) = δ(space edge), after rounding.
+  /// Computed total capacity ζ(b) = initial_tokens + rounded slack.
   std::int64_t capacity = 0;
   /// True when all rate sets of the pair are singletons (data-independent).
   bool is_static = false;
+  /// True when the buffer's data edge is a back-edge of a cyclic topology
+  /// (it carries the cycle's circulating tokens and is excluded from the
+  /// topological propagations).
+  bool is_feedback = false;
+  /// δ(data edge): tokens occupying containers at t=0.  The computed
+  /// capacity always covers them.
+  std::int64_t initial_tokens = 0;
+  /// Back-edges only: the minimum δ the throughput constraint requires,
+  /// ⌈(alignment gap + Δ slack)/s⌉ — the schedule-aligned form of the
+  /// max-cycle-ratio bound period ≥ cycle latency / initial tokens.  The
+  /// analysis is inadmissible when initial_tokens falls short.  Zero on
+  /// skeleton edges (δ-independent, so usable to size a loop's tokens).
+  std::int64_t required_initial_tokens = 0;
 };
 
-/// Result of the full graph analysis (chains and fork-join DAGs).
+/// Result of the full graph analysis (chains, fork-join DAGs and cyclic
+/// graphs whose back-edges carry initial tokens).
 struct GraphAnalysis {
   /// False when the constraint cannot be satisfied for every admissible
   /// quantum sequence (diagnostics explain why).  Capacities are only
@@ -96,8 +111,11 @@ struct GraphAnalysis {
   /// True when the data edges form a chain (the paper's Sec 3.1 shape);
   /// actors_in_order is then exactly the chain order.
   bool is_chain = false;
-  /// Actors in topological order of the data edges (chain order on chains,
-  /// data source first).
+  /// True when the data edges contain directed cycles (broken at tokened
+  /// back-edges); pairs on a back-edge have is_feedback set.
+  bool is_cyclic = false;
+  /// Actors in topological order of the skeleton data edges (chain order
+  /// on chains, data source first).
   std::vector<dataflow::ActorId> actors_in_order;
   /// φ(v) per position in actors_in_order: the minimal required difference
   /// between subsequent starts (also the maximal admissible response time).
@@ -109,8 +127,8 @@ struct GraphAnalysis {
   std::int64_t total_capacity = 0;
 };
 
-/// Pre-refactor name, kept for the chain-only call sites.
-using ChainAnalysis = GraphAnalysis;
+/// Pre-refactor name, kept for out-of-tree chain-only call sites.
+using ChainAnalysis [[deprecated("use GraphAnalysis")]] = GraphAnalysis;
 
 struct AnalysisOptions {
   RoundingMode rounding = RoundingMode::PaperPublished;

@@ -19,7 +19,7 @@ std::int64_t sriram_pair_capacity(std::int64_t production,
 TraditionalResult traditional_capacities(const dataflow::VrdfGraph& graph) {
   TraditionalResult result;
   const dataflow::ValidationReport validation =
-      dataflow::validate_dag_model(graph);
+      dataflow::validate_cyclic_model(graph);
   if (!validation.ok()) {
     result.diagnostics = validation.errors;
     return result;
@@ -33,7 +33,11 @@ TraditionalResult traditional_capacities(const dataflow::VrdfGraph& graph) {
     pair.buffer = b;
     pair.production = data.production.max();
     pair.consumption = data.consumption.max();
-    pair.capacity = sriram_pair_capacity(pair.production, pair.consumption);
+    // Initial tokens (back-edges of cyclic models) occupy containers on
+    // top of the classical window.
+    pair.capacity =
+        checked_add(sriram_pair_capacity(pair.production, pair.consumption),
+                    data.initial_tokens);
     result.total_capacity = checked_add(result.total_capacity, pair.capacity);
     result.pairs.push_back(pair);
   }

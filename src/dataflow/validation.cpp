@@ -17,7 +17,11 @@ std::string ValidationReport::summary() const {
   return os.str();
 }
 
-ValidationReport validate_dag_model(const VrdfGraph& graph) {
+namespace {
+
+/// The per-buffer invariants shared by every model class: connectivity,
+/// pairing, strong consistency of the buffer protocol.
+ValidationReport validate_buffer_network(const VrdfGraph& graph) {
   ValidationReport report;
   if (graph.actor_count() == 0) {
     report.errors.push_back("graph has no actors");
@@ -50,7 +54,82 @@ ValidationReport validate_dag_model(const VrdfGraph& graph) {
       report.errors.push_back(os.str());
     }
   }
-  if (report.ok() && !graph.buffer_view().has_value()) {
+  return report;
+}
+
+/// The reduced data-edge digraph (one edge per buffer, in data direction),
+/// optionally restricted to token-free edges.
+graph::Digraph data_digraph(const VrdfGraph& graph, bool token_free_only) {
+  graph::Digraph data_only;
+  for (std::size_t i = 0; i < graph.actor_count(); ++i) {
+    (void)data_only.add_node();
+  }
+  for (const BufferEdges& b : graph.buffers()) {
+    const Edge& data = graph.edge(b.data);
+    if (!token_free_only || data.initial_tokens == 0) {
+      (void)data_only.add_edge(data.source, data.target);
+    }
+  }
+  return data_only;
+}
+
+}  // namespace
+
+ValidationReport validate_cyclic_model(const VrdfGraph& graph) {
+  ValidationReport report = validate_buffer_network(graph);
+  if (!report.ok()) {
+    return report;
+  }
+  // Every directed cycle must carry an initial token: equivalently, the
+  // token-free data edges alone must be acyclic (any cycle of the full
+  // data graph either is entirely token-free — rejected here — or breaks
+  // at a tokened back-edge).
+  const auto cycle =
+      graph::find_directed_cycle(data_digraph(graph, /*token_free_only=*/true));
+  if (cycle.has_value()) {
+    std::ostringstream os;
+    os << "data cycle without initial tokens (deadlocks at t=0): ";
+    for (const graph::NodeId n : *cycle) {
+      os << graph.actor(n).name << " -> ";
+    }
+    os << graph.actor(cycle->front()).name
+       << "; every cycle must carry at least one initial token on a data "
+          "edge";
+    report.errors.push_back(os.str());
+    return report;
+  }
+  // Cycle edges must have static, positive rates: the circulating token
+  // count of a cycle is conserved, so a variable realized rate on any of
+  // its edges lets the loop's flow balance drift unboundedly.
+  const graph::FeedbackArcView arcs =
+      graph::feedback_arc_view(data_digraph(graph, /*token_free_only=*/false));
+  const std::vector<BufferEdges> buffers = graph.buffers();
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    if (!arcs.edge_on_cycle[i]) {
+      continue;
+    }
+    const Edge& data = graph.edge(buffers[i].data);
+    const bool is_static =
+        data.production.is_singleton() && data.consumption.is_singleton();
+    if (!is_static || data.production.min() == 0 ||
+        data.consumption.min() == 0) {
+      std::ostringstream os;
+      os << "buffer " << graph.actor(data.source).name << " -> "
+         << graph.actor(data.target).name << ": rates (pi=" << data.production
+         << ", gamma=" << data.consumption
+         << ") on a directed data cycle must be static and positive; a "
+            "variable or zero quantum would make the cycle's circulating "
+            "flow drift";
+      report.errors.push_back(os.str());
+    }
+  }
+  return report;
+}
+
+ValidationReport validate_dag_model(const VrdfGraph& graph) {
+  ValidationReport report = validate_buffer_network(graph);
+  if (report.ok() &&
+      graph::has_directed_cycle(data_digraph(graph, /*token_free_only=*/false))) {
     report.errors.push_back("data edges contain a directed cycle");
   }
   return report;

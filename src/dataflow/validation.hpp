@@ -7,11 +7,14 @@
 // invariants on an arbitrary VRDF graph so that hand-built models get the
 // same guarantees as converted task graphs.
 //
-// The analysis itself only needs the per-buffer invariants plus an acyclic
-// data topology — the per-pair bound of Eqs (1)-(4) propagates along each
-// buffer edge, not along a global chain index — so validate_dag_model()
-// admits weakly connected fork-join (DAG) topologies and
-// validate_chain_model() adds the Sec 3.1 chain restriction on top.
+// The analysis itself only needs the per-buffer invariants plus a data
+// topology whose cycles all break at initial tokens — the per-pair bound
+// of Eqs (1)-(4) propagates along each buffer edge, not along a global
+// chain index.  validate_cyclic_model() admits weakly connected cyclic
+// topologies whose back-edges carry initial tokens (rate-control loops,
+// predictive decoders), validate_dag_model() restricts to acyclic
+// fork-join topologies, and validate_chain_model() adds the Sec 3.1 chain
+// restriction on top.
 #pragma once
 
 #include <string>
@@ -29,14 +32,24 @@ struct ValidationReport {
   [[nodiscard]] std::string summary() const;
 };
 
-/// Checks, in order:
+/// The widest model class the analysis accepts.  Checks, in order:
 ///  * the graph has at least one actor and is weakly connected;
 ///  * every edge belongs to an anti-parallel buffer pair;
 ///  * each pair satisfies π(data) == γ(space) and γ(data) == π(space)
 ///    (strong consistency of the buffer protocol);
-///  * the data edges form an acyclic graph (fork-join generalisation of
-///    the Sec 3.1 restriction; parallel buffers between one actor pair
-///    are allowed, directed data cycles are not).
+///  * every directed cycle of the data edges carries at least one initial
+///    token (a token-free cycle can never fire — deadlock at t=0 — and is
+///    reported with the cycle's actors);
+///  * every data edge on a directed cycle has static, positive rates
+///    (singleton π and γ): a variable realized rate around a cycle makes
+///    the circulating token count drift, so no finite capacity satisfies
+///    a throughput constraint for every admissible sequence.
+[[nodiscard]] ValidationReport validate_cyclic_model(const VrdfGraph& graph);
+
+/// validate_cyclic_model() minus cycles: the data edges must form an
+/// acyclic graph (fork-join generalisation of the Sec 3.1 restriction;
+/// parallel buffers between one actor pair are allowed, directed data
+/// cycles — with or without initial tokens — are not).
 [[nodiscard]] ValidationReport validate_dag_model(const VrdfGraph& graph);
 
 /// validate_dag_model() plus the Sec 3.1 chain restriction: the data edges

@@ -30,10 +30,16 @@ EdgeId VrdfGraph::add_edge(ActorId source, ActorId target, RateSet production,
 
 BufferEdges VrdfGraph::add_buffer(ActorId producer, ActorId consumer,
                                   RateSet production, RateSet consumption,
-                                  std::int64_t capacity) {
-  const EdgeId data = add_edge(producer, consumer, production, consumption, 0);
+                                  std::int64_t capacity,
+                                  std::int64_t initial_tokens) {
+  VRDF_REQUIRE(initial_tokens >= 0, "initial tokens must be non-negative");
+  VRDF_REQUIRE(capacity == 0 || capacity >= initial_tokens,
+               "buffer capacity must cover its initial tokens");
+  const EdgeId data =
+      add_edge(producer, consumer, production, consumption, initial_tokens);
   const EdgeId space =
-      add_edge(consumer, producer, consumption, production, capacity);
+      add_edge(consumer, producer, consumption, production,
+               capacity == 0 ? 0 : capacity - initial_tokens);
   edges_[data.index()].paired = space;
   edges_[space.index()].paired = data;
   const BufferEdges pair{data, space};
@@ -49,6 +55,10 @@ const Actor& VrdfGraph::actor(ActorId id) const {
 const Edge& VrdfGraph::edge(EdgeId id) const {
   VRDF_REQUIRE(topology_.contains(id), "edge id out of range");
   return edges_[id.index()];
+}
+
+std::int64_t VrdfGraph::buffer_capacity(const BufferEdges& buffer) const {
+  return edge(buffer.space).initial_tokens + edge(buffer.data).initial_tokens;
 }
 
 std::optional<ActorId> VrdfGraph::find_actor(const std::string& name) const {
@@ -114,10 +124,45 @@ std::optional<VrdfGraph::BufferView> VrdfGraph::buffer_view() const {
     const Edge& data = edges_[b.data.index()];
     (void)data_only.add_edge(data.source, data.target);
   }
-  const auto order = graph::topological_order(data_only);
-  if (!order.has_value()) {
-    return std::nullopt;  // directed cycle among data edges
+  // Feedback classification: a *minimal* set of tokened on-cycle data
+  // edges whose removal leaves the skeleton acyclic.  Token-free edges
+  // always belong to the skeleton — a cycle whose edges are all
+  // token-free keeps it cyclic and is rejected (deadlock at t=0).
+  // Tokened on-cycle edges are then re-admitted greedily in insertion
+  // order: an edge stays in the skeleton unless it would close a
+  // directed cycle, in which case it is the cycle's back-edge.  (A cycle
+  // carrying several tokened edges thus breaks at the last-inserted one
+  // — deterministic — and the others keep ordering the skeleton instead
+  // of orphaning their endpoints.)
+  const graph::FeedbackArcView arcs = graph::feedback_arc_view(data_only);
+  std::vector<bool> feedback(buffers_.size(), false);
+  graph::Digraph skeleton;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    (void)skeleton.add_node();
   }
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    const Edge& data = edges_[buffers_[i].data.index()];
+    if (!arcs.edge_on_cycle[i] || data.initial_tokens == 0) {
+      (void)skeleton.add_edge(data.source, data.target);
+    }
+  }
+  if (graph::has_directed_cycle(skeleton)) {
+    return std::nullopt;  // directed cycle with no initial token on any edge
+  }
+  for (std::size_t i = 0; i < buffers_.size(); ++i) {
+    const Edge& data = edges_[buffers_[i].data.index()];
+    if (!arcs.edge_on_cycle[i] || data.initial_tokens == 0) {
+      continue;
+    }
+    feedback[i] = data.source == data.target ||
+                  graph::has_path(skeleton, data.target, data.source);
+    if (!feedback[i]) {
+      (void)skeleton.add_edge(data.source, data.target);
+    }
+  }
+  const auto order = graph::topological_order(skeleton);
+  // The greedy pass only admitted cycle-free insertions.
+  VRDF_REQUIRE(order.has_value(), "feedback classification left a cycle");
 
   BufferView view;
   view.actors = *order;
@@ -142,15 +187,25 @@ std::optional<VrdfGraph::BufferView> VrdfGraph::buffer_view() const {
   view.out_buffers.resize(actors_.size());
   const std::vector<bool> bridge = graph::undirected_bridges(data_only);
   view.on_reconvergent_path.reserve(buffers_.size());
+  view.on_cycle.reserve(buffers_.size());
+  view.is_feedback.reserve(buffers_.size());
   for (std::size_t pos = 0; pos < by_producer.size(); ++pos) {
-    const BufferEdges& b = buffers_[by_producer[pos]];
+    const std::size_t index = by_producer[pos];
+    const BufferEdges& b = buffers_[index];
     const Edge& data = edges_[b.data.index()];
     view.buffers.push_back(b);
-    view.out_buffers[data.source.index()].push_back(pos);
-    view.in_buffers[data.target.index()].push_back(pos);
+    if (feedback[index]) {
+      view.feedback_buffers.push_back(pos);
+    } else {
+      view.out_buffers[data.source.index()].push_back(pos);
+      view.in_buffers[data.target.index()].push_back(pos);
+    }
     // Buffers were added to `data_only` in buffers_ order.
-    view.on_reconvergent_path.push_back(!bridge[by_producer[pos]]);
+    view.on_reconvergent_path.push_back(!bridge[index]);
+    view.on_cycle.push_back(arcs.edge_on_cycle[index]);
+    view.is_feedback.push_back(feedback[index]);
   }
+  view.is_cyclic = !view.feedback_buffers.empty();
   bool degrees_chain_like = true;
   for (const ActorId a : view.actors) {
     if (view.in_buffers[a.index()].empty()) {
@@ -163,8 +218,8 @@ std::optional<VrdfGraph::BufferView> VrdfGraph::buffer_view() const {
                          view.in_buffers[a.index()].size() <= 1 &&
                          view.out_buffers[a.index()].size() <= 1;
   }
-  view.is_chain =
-      degrees_chain_like && graph::is_weakly_connected(data_only);
+  view.is_chain = degrees_chain_like && !view.is_cyclic &&
+                  graph::is_weakly_connected(data_only);
   return view;
 }
 

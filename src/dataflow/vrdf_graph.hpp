@@ -62,10 +62,16 @@ public:
                   RateSet consumption, std::int64_t initial_tokens = 0);
 
   /// Adds a buffer from `producer` to `consumer` as an anti-parallel edge
-  /// pair (Sec 3.3): data edge with (π=production, γ=consumption, δ=0) and
-  /// space edge with (π=consumption, γ=production, δ=capacity).
+  /// pair (Sec 3.3): data edge with (π=production, γ=consumption,
+  /// δ=initial_tokens) and space edge with (π=consumption, γ=production,
+  /// δ=capacity − initial_tokens).  `capacity` is the buffer's *total*
+  /// container count; the containers holding initial data are occupied at
+  /// t=0.  capacity == 0 leaves the buffer unsized (no free space) until
+  /// apply_capacities installs one.  Non-zero `initial_tokens` is how
+  /// back-edges of cyclic topologies carry their circulating tokens.
   BufferEdges add_buffer(ActorId producer, ActorId consumer, RateSet production,
-                         RateSet consumption, std::int64_t capacity = 0);
+                         RateSet consumption, std::int64_t capacity = 0,
+                         std::int64_t initial_tokens = 0);
 
   [[nodiscard]] std::size_t actor_count() const { return actors_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
@@ -93,6 +99,10 @@ public:
   /// All buffers (each anti-parallel pair reported once, as it was added).
   [[nodiscard]] std::vector<BufferEdges> buffers() const { return buffers_; }
 
+  /// Total installed container count of a buffer: δ(space edge) free
+  /// containers plus δ(data edge) containers occupied by initial tokens.
+  [[nodiscard]] std::int64_t buffer_capacity(const BufferEdges& buffer) const;
+
   /// Underlying topology (for the generic graph algorithms).
   [[nodiscard]] const graph::Digraph& topology() const { return topology_; }
 
@@ -110,22 +120,34 @@ public:
   /// contains unpaired edges.
   [[nodiscard]] std::optional<ChainView> chain_view() const;
 
-  /// A VRDF graph seen as an acyclic network of buffers — the general view
-  /// the analysis pipeline runs on.  Buffers are keyed per data edge;
-  /// chains are the degenerate case with every fan-in/fan-out equal to one.
+  /// A VRDF graph seen as a network of buffers — the general view the
+  /// analysis pipeline runs on.  Buffers are keyed per data edge; chains
+  /// are the degenerate case with every fan-in/fan-out equal to one.
+  ///
+  /// Cyclic topologies are admitted when every directed cycle of the data
+  /// edges carries at least one initial token: a minimal set of tokened
+  /// intra-SCC data edges — one per cycle, chosen deterministically by
+  /// insertion order when a cycle carries several — are the *feedback*
+  /// (back) edges, and removing them leaves the acyclic skeleton the
+  /// topological structure is built on.  A cycle without initial tokens
+  /// can never fire (deadlock at t=0) and makes buffer_view() fail.
   struct BufferView {
-    /// Actors in a topological order of the data-edge DAG (for a chain this
-    /// is exactly the chain order, data source first).
+    /// Actors in a topological order of the skeleton DAG — the data edges
+    /// minus the feedback edges (for a chain this is exactly the chain
+    /// order, data source first).
     std::vector<ActorId> actors;
     /// Buffers ordered by (topological position of the producer, insertion
     /// index) — deterministic, and equal to chain order on chains.
+    /// Feedback buffers are included.
     std::vector<BufferEdges> buffers;
     /// Per actor (indexed by ActorId::index()): positions in `buffers` of
-    /// the buffers the actor consumes from / produces into.
+    /// the *skeleton* buffers the actor consumes from / produces into.
+    /// Feedback buffers are listed separately in `feedback_buffers` so the
+    /// topological propagations never walk a back-edge.
     std::vector<std::vector<std::size_t>> in_buffers;
     std::vector<std::vector<std::size_t>> out_buffers;
-    /// Actors with no incoming / no outgoing data edge, in topological
-    /// order.  A single unconnected actor is both.
+    /// Actors with no incoming / no outgoing *skeleton* data edge, in
+    /// topological order.  A single unconnected actor is both.
     std::vector<ActorId> data_sources;
     std::vector<ActorId> data_sinks;
     /// Per position in `buffers`: true when the buffer's data edge lies on
@@ -133,13 +155,27 @@ public:
     /// fork-join region, where sibling branches must stay flow-balanced.
     /// False exactly on the bridge (chain-segment) edges.
     std::vector<bool> on_reconvergent_path;
+    /// Per position in `buffers`: true when the buffer's data edge lies on
+    /// a *directed* cycle of the data graph (self-loop or intra-SCC edge).
+    /// Cycle edges must carry static rates.
+    std::vector<bool> on_cycle;
+    /// Per position in `buffers`: true for feedback (back) edges — data
+    /// edges on a directed cycle that carry the cycle's initial tokens and
+    /// are excluded from the skeleton order.
+    std::vector<bool> is_feedback;
+    /// Positions in `buffers` of the feedback buffers, in `buffers` order.
+    std::vector<std::size_t> feedback_buffers;
+    /// True when the data edges contain a directed cycle (equivalently:
+    /// feedback_buffers is non-empty).
+    bool is_cyclic = false;
     /// True when the data edges form a chain (every fan-in and fan-out at
-    /// most one, weakly connected) — the Sec 3.1 shape.
+    /// most one, weakly connected, acyclic) — the Sec 3.1 shape.
     bool is_chain = false;
   };
 
   /// Buffer-network recognition over data edges.  Returns nullopt when the
-  /// graph contains unpaired edges or the data edges have a directed cycle.
+  /// graph contains unpaired edges or a directed data cycle with no
+  /// initial token on any of its edges (a token-free cycle deadlocks).
   [[nodiscard]] std::optional<BufferView> buffer_view() const;
 
 private:

@@ -340,6 +340,73 @@ std::vector<std::vector<NodeId>> strongly_connected_components(const Digraph& g)
   return components;
 }
 
+FeedbackArcView feedback_arc_view(const Digraph& g) {
+  FeedbackArcView view;
+  view.components = strongly_connected_components(g);
+  // Tarjan emits components in reverse topological order of the
+  // condensation; flip once so cross-component edges point forward.
+  std::reverse(view.components.begin(), view.components.end());
+  view.component_of.resize(g.node_count());
+  for (std::size_t c = 0; c < view.components.size(); ++c) {
+    for (const NodeId n : view.components[c]) {
+      view.component_of[n.index()] = c;
+    }
+  }
+  view.edge_on_cycle.reserve(g.edge_count());
+  for (const EdgeId e : g.edges()) {
+    const NodeId s = g.edge_source(e);
+    const NodeId t = g.edge_target(e);
+    view.edge_on_cycle.push_back(
+        s == t || view.component_of[s.index()] == view.component_of[t.index()]);
+  }
+  return view;
+}
+
+std::optional<std::vector<NodeId>> find_directed_cycle(const Digraph& g) {
+  // Iterative DFS with an explicit path stack; a back edge to a node on
+  // the current path closes a cycle.
+  enum : char { kWhite, kGrey, kBlack };
+  std::vector<char> color(g.node_count(), kWhite);
+  struct Frame {
+    NodeId node;
+    std::size_t edge_pos;
+  };
+  for (const NodeId root : g.nodes()) {
+    if (color[root.index()] != kWhite) {
+      continue;
+    }
+    std::vector<Frame> path{{root, 0}};
+    color[root.index()] = kGrey;
+    while (!path.empty()) {
+      Frame& f = path.back();
+      const auto out = g.out_edges(f.node);
+      if (f.edge_pos < out.size()) {
+        const NodeId m = g.edge_target(out[f.edge_pos]);
+        ++f.edge_pos;
+        if (color[m.index()] == kGrey) {
+          std::vector<NodeId> cycle;
+          std::size_t start = 0;
+          while (path[start].node != m) {
+            ++start;
+          }
+          for (std::size_t i = start; i < path.size(); ++i) {
+            cycle.push_back(path[i].node);
+          }
+          return cycle;
+        }
+        if (color[m.index()] == kWhite) {
+          color[m.index()] = kGrey;
+          path.push_back(Frame{m, 0});
+        }
+        continue;
+      }
+      color[f.node.index()] = kBlack;
+      path.pop_back();
+    }
+  }
+  return std::nullopt;
+}
+
 bool has_path(const Digraph& g, NodeId src, NodeId dst) {
   VRDF_REQUIRE(g.contains(src) && g.contains(dst), "has_path: node out of range");
   if (src == dst) {

@@ -59,6 +59,28 @@ struct ChainOrder {
 [[nodiscard]] std::vector<std::vector<NodeId>> strongly_connected_components(
     const Digraph& g);
 
+/// Edge classification against the SCC condensation: an edge lies on a
+/// directed cycle exactly when it is a self-loop or its endpoints share a
+/// strongly connected component.  `components` are in topological order of
+/// the condensation (source components first), so cross-component edges
+/// always point from a lower component index to a higher one.
+struct FeedbackArcView {
+  /// Condensation component per node (indexed by NodeId::index()).
+  std::vector<std::size_t> component_of;
+  /// Components in topological order of the condensation.
+  std::vector<std::vector<NodeId>> components;
+  /// Per edge (indexed by EdgeId::index()): true when the edge lies on a
+  /// directed cycle (self-loop or intra-component edge).
+  std::vector<bool> edge_on_cycle;
+};
+[[nodiscard]] FeedbackArcView feedback_arc_view(const Digraph& g);
+
+/// Some directed cycle of the graph as a node sequence n0 -> n1 -> ... ->
+/// n0 (the closing edge back to n0 is implied, n0 is not repeated), or
+/// nullopt when the graph is acyclic.  A self-loop yields a one-node cycle.
+[[nodiscard]] std::optional<std::vector<NodeId>> find_directed_cycle(
+    const Digraph& g);
+
 /// True when a directed path src ->* dst exists (src == dst counts as true).
 [[nodiscard]] bool has_path(const Digraph& g, NodeId src, NodeId dst);
 

@@ -32,6 +32,18 @@ std::string render_vrdf_dot(const dataflow::VrdfGraph& graph,
       capacity_of_space.emplace(pair.buffer.space, pair.capacity);
     }
   }
+  // Back-edges render dashed and token-annotated so feedback loops are
+  // visually distinct from the forward pipeline.  The classification is
+  // the buffer view's own (single source of truth); graphs without a
+  // view (unpaired edges, token-free cycles) render without feedback
+  // annotations.
+  std::unordered_map<dataflow::EdgeId, bool> data_edge_feedback;
+  if (const auto view = graph.buffer_view(); view.has_value()) {
+    for (std::size_t pos = 0; pos < view->buffers.size(); ++pos) {
+      data_edge_feedback.emplace(view->buffers[pos].data,
+                                 view->is_feedback[pos]);
+    }
+  }
   std::ostringstream os;
   os << "digraph vrdf {\n  rankdir=LR;\n  node [shape=box];\n";
   for (const dataflow::ActorId a : graph.actors()) {
@@ -56,7 +68,11 @@ std::string render_vrdf_dot(const dataflow::VrdfGraph& graph,
       const auto it = capacity_of_space.find(e);
       if (it != capacity_of_space.end()) {
         os << " zeta=" << it->second;
-        if (it->second != edge.initial_tokens) {
+        // ζ is the *total* capacity: free containers here plus the ones
+        // the paired data edge's initial tokens occupy.
+        const std::int64_t installed =
+            edge.initial_tokens + graph.edge(edge.paired).initial_tokens;
+        if (it->second != installed) {
           os << " (!)";
         }
       }
@@ -67,7 +83,12 @@ std::string render_vrdf_dot(const dataflow::VrdfGraph& graph,
       if (edge.initial_tokens != 0) {
         os << " d=" << edge.initial_tokens;
       }
-      os << '"';
+      const auto feedback = data_edge_feedback.find(e);
+      if (feedback != data_edge_feedback.end() && feedback->second) {
+        os << " [feedback]\" style=dashed constraint=false";
+      } else {
+        os << '"';
+      }
     }
     os << "];\n";
   }

@@ -11,6 +11,8 @@ namespace vrdf::io {
 
 /// DOT digraph: actors as boxes (name, ρ), data edges solid with
 /// "π / γ" labels, space edges dashed with their initial-token count.
+/// Back-edges of cyclic topologies (tokened data edges on a directed
+/// cycle) render dashed with a "[feedback]" tag and their token count.
 [[nodiscard]] std::string to_dot(const dataflow::VrdfGraph& graph);
 
 /// Annotated variant: space edges of analysed buffers additionally carry

@@ -15,14 +15,27 @@ std::string analysis_report(const dataflow::VrdfGraph& graph,
   VRDF_REQUIRE(analysis.admissible, "cannot report an inadmissible analysis");
   std::ostringstream os;
 
+  std::size_t feedback_count = 0;
+  for (const analysis::PairAnalysis& pair : analysis.pairs) {
+    feedback_count += pair.is_feedback ? 1 : 0;
+  }
   os << "# Buffer-capacity analysis report\n\n";
   os << "Throughput constraint: actor `"
      << graph.actor(constraint.actor).name << "` strictly periodic, period "
      << constraint.period.seconds().to_string() << " s ("
      << constraint.period.seconds().reciprocal().to_double() << " Hz), "
      << (analysis.side == analysis::ConstraintSide::Sink ? "sink" : "source")
-     << "-constrained " << (analysis.is_chain ? "chain" : "fork-join graph")
-     << " of " << analysis.actors_in_order.size() << " tasks.\n\n";
+     << "-constrained "
+     << (analysis.is_chain
+             ? "chain"
+             : (analysis.is_cyclic ? "cyclic graph" : "fork-join graph"))
+     << " of " << analysis.actors_in_order.size() << " tasks";
+  if (analysis.is_cyclic) {
+    os << " (" << feedback_count << " feedback back-edge"
+       << (feedback_count == 1 ? "" : "s")
+       << "; capacities cover the circulating initial tokens)";
+  }
+  os << ".\n\n";
 
   os << "## Pacing budget (max admissible response times)\n\n";
   Table pacing({"task", "rho (s)", "phi (s)", "slack"});
@@ -41,11 +54,15 @@ std::string analysis_report(const dataflow::VrdfGraph& graph,
   bool mismatch = false;
   for (const analysis::PairAnalysis& pair : analysis.pairs) {
     const dataflow::Edge& data = graph.edge(pair.buffer.data);
-    const std::int64_t installed = graph.edge(pair.buffer.space).initial_tokens;
+    const std::int64_t installed = graph.buffer_capacity(pair.buffer);
     mismatch = mismatch || installed != pair.capacity;
+    std::string name = graph.actor(pair.producer).name + "->" +
+                       graph.actor(pair.consumer).name;
+    if (pair.is_feedback) {
+      name += " (feedback, delta=" + std::to_string(pair.initial_tokens) + ")";
+    }
     caps.add_row(
-        {graph.actor(pair.producer).name + "->" +
-             graph.actor(pair.consumer).name,
+        {std::move(name),
          data.production.to_string() + " / " + data.consumption.to_string(),
          std::to_string(pair.capacity),
          std::to_string(installed) + (installed == pair.capacity ? "" : " (!)"),

@@ -87,13 +87,19 @@ std::string write_chain(
   }
   for (const dataflow::BufferEdges& b : graph.buffers()) {
     const dataflow::Edge& data = graph.edge(b.data);
-    const dataflow::Edge& space = graph.edge(b.space);
     os << "buffer " << graph.actor(data.source).name << " -> "
        << graph.actor(data.target).name
        << " pi=" << rate_set_to_text(data.production)
        << " gamma=" << rate_set_to_text(data.consumption);
-    if (space.initial_tokens != 0) {
-      os << " capacity=" << space.initial_tokens;
+    // capacity= is the *total* container count (free + occupied by
+    // initial data tokens); delta= carries the initial tokens of cyclic
+    // back-edges so cyclic models round-trip.
+    if (const std::int64_t capacity = graph.buffer_capacity(b);
+        capacity != 0) {
+      os << " capacity=" << capacity;
+    }
+    if (data.initial_tokens != 0) {
+      os << " delta=" << data.initial_tokens;
     }
     os << '\n';
   }
@@ -141,7 +147,7 @@ ChainDocument read_chain(const std::string& text) {
       if (tokens.size() < 6 || tokens[2] != "->") {
         parse_error(line_no,
                     "expected 'buffer <p> -> <c> pi=<set> gamma=<set> "
-                    "[capacity=<n>]'");
+                    "[capacity=<n>] [delta=<n>]'");
       }
       const auto producer = doc.graph.find_actor(tokens[1]);
       const auto consumer = doc.graph.find_actor(tokens[3]);
@@ -151,6 +157,7 @@ ChainDocument read_chain(const std::string& text) {
       std::optional<RateSet> pi;
       std::optional<RateSet> gamma;
       std::int64_t capacity = 0;
+      std::int64_t delta = 0;
       for (std::size_t i = 4; i < tokens.size(); ++i) {
         if (const auto v = key_value(tokens[i], "pi")) {
           pi = parse_rate_set(*v, line_no);
@@ -162,6 +169,12 @@ ChainDocument read_chain(const std::string& text) {
           } catch (const std::exception&) {
             parse_error(line_no, "malformed capacity '" + *c + "'");
           }
+        } else if (const auto d = key_value(tokens[i], "delta")) {
+          try {
+            delta = std::stoll(*d);
+          } catch (const std::exception&) {
+            parse_error(line_no, "malformed delta '" + *d + "'");
+          }
         } else {
           parse_error(line_no, "unknown attribute '" + tokens[i] + "'");
         }
@@ -169,7 +182,11 @@ ChainDocument read_chain(const std::string& text) {
       if (!pi.has_value() || !gamma.has_value()) {
         parse_error(line_no, "buffer needs pi= and gamma=");
       }
-      (void)doc.graph.add_buffer(*producer, *consumer, *pi, *gamma, capacity);
+      if (delta < 0 || capacity < 0 || (capacity != 0 && capacity < delta)) {
+        parse_error(line_no, "capacity must cover delta (initial tokens)");
+      }
+      (void)doc.graph.add_buffer(*producer, *consumer, *pi, *gamma, capacity,
+                                 delta);
     } else if (tokens[0] == "constraint") {
       if (tokens.size() != 3) {
         parse_error(line_no, "expected 'constraint <actor> period=<seconds>'");

@@ -7,11 +7,14 @@
 //   # comment
 //   vrdf-chain v1
 //   actor <name> rho=<rational seconds>
-//   buffer <producer> -> <consumer> pi=<rateset> gamma=<rateset> [capacity=<n>]
+//   buffer <producer> -> <consumer> pi=<rateset> gamma=<rateset>
+//          [capacity=<n>] [delta=<n>]
 //   constraint <actor> period=<rational seconds>
 //
 // Rate sets are "{a,b,c}" or "[lo,hi]"; rationals are "p", "p/q" or simple
-// decimals ("51.2").
+// decimals ("51.2").  capacity= is the buffer's *total* container count;
+// delta= is the data edge's initial tokens (the back-edges of cyclic
+// models), occupying delta of the capacity containers at t=0.
 #pragma once
 
 #include <optional>

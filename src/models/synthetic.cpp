@@ -3,6 +3,7 @@
 #include <random>
 #include <string>
 
+#include "analysis/buffer_sizing.hpp"
 #include "analysis/pacing.hpp"
 #include "util/error.hpp"
 
@@ -35,8 +36,12 @@ std::optional<VrdfGraph> with_scaled_response_times(
   for (const dataflow::BufferEdges& b : graph.buffers()) {
     const dataflow::Edge& data = graph.edge(b.data);
     const dataflow::Edge& space = graph.edge(b.space);
+    // Total capacity = free containers + containers occupied by initial
+    // data tokens (back-edges of cyclic models carry the latter).
     (void)out.add_buffer(data.source, data.target, data.production,
-                         data.consumption, space.initial_tokens);
+                         data.consumption,
+                         space.initial_tokens + data.initial_tokens,
+                         data.initial_tokens);
   }
   return out;
 }
@@ -110,7 +115,28 @@ SyntheticChain make_random_chain(const RandomChainSpec& spec) {
   return SyntheticChain{std::move(*scaled), constraint};
 }
 
-SyntheticChain make_random_fork_join(const RandomForkJoinSpec& spec) {
+namespace {
+
+/// One fork-join stage of the bare generator output: the actor the stage
+/// forked from, its join, and the actors strictly inside the branches —
+/// together the actor set of any feedback loop closed around the stage.
+struct ForkJoinStage {
+  ActorId fork_tail;
+  ActorId join;
+  std::vector<ActorId> branch_actors;
+};
+
+/// The bare (dummy response times, unsized buffers) fork-join graph plus
+/// the structure the cyclic generator needs to close loops.
+struct ForkJoinBare {
+  VrdfGraph graph;
+  ActorId source;
+  ActorId sink;
+  std::vector<ForkJoinStage> stages;
+  std::vector<std::int64_t> gear;  // by actor id
+};
+
+ForkJoinBare build_random_fork_join_bare(const RandomForkJoinSpec& spec) {
   VRDF_REQUIRE(spec.stages >= 1, "need at least one fork-join stage");
   VRDF_REQUIRE(spec.max_branches >= 2, "a fork needs at least two branches");
   VRDF_REQUIRE(spec.max_branch_length >= 1, "branches need at least one actor");
@@ -125,8 +151,9 @@ SyntheticChain make_random_fork_join(const RandomForkJoinSpec& spec) {
   std::uniform_int_distribution<std::int64_t> gear_draw(1, spec.max_gear);
   std::uniform_int_distribution<int> percent(0, 99);
 
-  VrdfGraph bare;
-  std::vector<std::int64_t> gear;  // by actor id
+  ForkJoinBare out;
+  VrdfGraph& bare = out.graph;
+  std::vector<std::int64_t>& gear = out.gear;  // by actor id
   const Duration dummy = seconds(Rational(1));
   const auto new_actor = [&](const std::string& name) {
     const ActorId id = bare.add_actor(name, dummy);
@@ -191,12 +218,15 @@ SyntheticChain make_random_fork_join(const RandomForkJoinSpec& spec) {
     return tail;
   };
 
-  const ActorId source = new_actor("src");
-  ActorId tail = source;
+  out.source = new_actor("src");
+  ActorId tail = out.source;
   for (std::size_t stage = 0; stage < spec.stages; ++stage) {
     const std::string prefix = "s" + std::to_string(stage);
     tail = add_segment(tail, prefix + "_pre");
+    ForkJoinStage record;
+    record.fork_tail = tail;
     const ActorId join = new_actor(prefix + "_join");
+    record.join = join;
     const std::size_t branches = branch_count(rng);
     for (std::size_t b = 0; b < branches; ++b) {
       ActorId prev = tail;
@@ -204,24 +234,129 @@ SyntheticChain make_random_fork_join(const RandomForkJoinSpec& spec) {
       for (std::size_t i = 0; i < length; ++i) {
         const ActorId node = new_actor(prefix + "_b" + std::to_string(b) +
                                        "_" + std::to_string(i));
+        record.branch_actors.push_back(node);
         add_block_buffer(prev, node);
         prev = node;
       }
       add_block_buffer(prev, join);
     }
+    out.stages.push_back(std::move(record));
     tail = join;
   }
   tail = add_segment(tail, "post");
-  const ActorId sink = new_actor("snk");
-  add_segment_buffer(tail, sink);
+  out.sink = new_actor("snk");
+  add_segment_buffer(tail, out.sink);
+  return out;
+}
 
-  const ActorId constrained = spec.source_constrained ? source : sink;
+}  // namespace
+
+SyntheticChain make_random_fork_join(const RandomForkJoinSpec& spec) {
+  ForkJoinBare bare = build_random_fork_join_bare(spec);
+  const ActorId constrained = spec.source_constrained ? bare.source : bare.sink;
   const ThroughputConstraint constraint{constrained, spec.period};
   auto scaled =
-      with_scaled_response_times(bare, constraint, spec.response_fraction);
+      with_scaled_response_times(bare.graph, constraint, spec.response_fraction);
   VRDF_REQUIRE(scaled.has_value(),
                "generated fork-join graph must be admissible by construction");
   return SyntheticChain{std::move(*scaled), constraint};
+}
+
+SyntheticChain make_random_cyclic(const RandomCyclicSpec& spec) {
+  VRDF_REQUIRE(spec.feedback_percent >= 0 && spec.feedback_percent <= 100,
+               "feedback_percent must be a percentage");
+  VRDF_REQUIRE(spec.token_slack_batches >= 0,
+               "token_slack_batches must be non-negative");
+  ForkJoinBare bare = build_random_fork_join_bare(spec.base);
+  const ActorId constrained =
+      spec.base.source_constrained ? bare.source : bare.sink;
+  const ThroughputConstraint constraint{constrained, spec.base.period};
+
+  // A dedicated stream keeps the skeleton draws identical to the acyclic
+  // generator for the same base spec.
+  std::mt19937_64 rng(spec.base.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::uniform_int_distribution<int> percent(0, 99);
+  bool closed_any = false;
+  for (std::size_t s = 0; s < bare.stages.size(); ++s) {
+    const bool last = s + 1 == bare.stages.size();
+    const bool close = percent(rng) < spec.feedback_percent ||
+                       (last && !closed_any);
+    if (!close) {
+      continue;
+    }
+    closed_any = true;
+    const ForkJoinStage& stage = bare.stages[s];
+    // Gear rates keep the loop flow-consistent with the skeleton pacing;
+    // a provisional single token batch marks the edge as feedback — the
+    // real δ is sized below from the analysis' own requirement.
+    (void)bare.graph.add_buffer(
+        stage.join, stage.fork_tail,
+        RateSet::singleton(bare.gear[stage.join.index()]),
+        RateSet::singleton(bare.gear[stage.fork_tail.index()]),
+        /*capacity=*/0,
+        /*initial_tokens=*/bare.gear[stage.fork_tail.index()]);
+  }
+
+  auto scaled = with_scaled_response_times(bare.graph, constraint,
+                                           spec.base.response_fraction);
+  VRDF_REQUIRE(scaled.has_value(),
+               "generated cyclic graph must be admissible by construction");
+  VrdfGraph graph = std::move(*scaled);
+
+  // The schedule-alignment leads (and with them each back-edge's required
+  // initial tokens) are δ-independent, so one probe analysis sizes every
+  // loop exactly: δ = required + slack batches of phase-2 headroom.
+  const analysis::GraphAnalysis probe =
+      analysis::compute_buffer_capacities(graph, constraint);
+  VRDF_REQUIRE(!probe.pairs.empty(),
+               "generated cyclic graph must reach the capacity stage");
+  for (const analysis::PairAnalysis& pair : probe.pairs) {
+    if (pair.is_feedback) {
+      const std::int64_t gamma =
+          graph.edge(pair.buffer.data).consumption.min();
+      graph.set_initial_tokens(
+          pair.buffer.data,
+          pair.required_initial_tokens + spec.token_slack_batches * gamma);
+    }
+  }
+  return SyntheticChain{std::move(graph), constraint};
+}
+
+FeedbackPipeline make_feedback_pipeline() {
+  VrdfGraph bare;
+  const Duration dummy = seconds(Rational(1));
+  FeedbackPipeline model;
+  model.src = bare.add_actor("src", dummy);
+  model.dec = bare.add_actor("dec", dummy);
+  model.present = bare.add_actor("present", dummy);
+  model.rctl = bare.add_actor("rctl", dummy);
+
+  // Gears src 4 / dec 2 / rctl 1 / present 1: every edge pins
+  // π = g(producer), γ = g(consumer), so the loop's flow balances
+  // (φ(v) = g(v)·τ) and the skeleton paces rctl through rctl→src.  The
+  // back-edge dec→rctl carries δ = 12 circulating block reports: at tight
+  // response times the loop's schedule-alignment credit requirement is
+  // (ω(rctl) − ω(dec) + ρ(dec) + s·(π̂−1))/s = (8τ + 2τ + τ)/τ = 11
+  // tokens, and δ = 12 keeps one batch of headroom.  The only variable
+  // rates live on the dec→present bridge: the 25 Hz presenter may drop a
+  // frame (zero quantum).
+  model.src_dec = bare.add_buffer(model.src, model.dec, RateSet::singleton(4),
+                                  RateSet::singleton(2));
+  model.dec_present = bare.add_buffer(model.dec, model.present,
+                                      RateSet::singleton(2), RateSet::of({0, 1}));
+  model.dec_rctl =
+      bare.add_buffer(model.dec, model.rctl, RateSet::singleton(2),
+                      RateSet::singleton(1), /*capacity=*/0,
+                      /*initial_tokens=*/12);
+  model.rctl_src = bare.add_buffer(model.rctl, model.src, RateSet::singleton(1),
+                                   RateSet::singleton(4));
+
+  model.constraint =
+      analysis::ThroughputConstraint{model.present, milliseconds(Rational(40))};
+  auto scaled = with_scaled_response_times(bare, model.constraint, Rational(1));
+  VRDF_REQUIRE(scaled.has_value(), "feedback pipeline must be admissible");
+  model.graph = std::move(*scaled);
+  return model;
 }
 
 AvSyncPipeline make_av_sync_pipeline() {

@@ -117,6 +117,58 @@ struct RandomForkJoinSpec {
 /// between one data source and one data sink, never a plain chain.
 [[nodiscard]] SyntheticChain make_random_fork_join(const RandomForkJoinSpec& spec);
 
+/// Parameters of the random *cyclic* generator: a fork-join graph per
+/// `base`, plus back-edges closing feedback loops from stage joins to the
+/// actors they forked from.  A back-edge join→tail carries static gear
+/// rates (π = {g(join)}, γ = {g(tail)} — flow-consistent with the
+/// skeleton pacing by construction) and enough initial tokens to satisfy
+/// the cycle bound period ≥ cycle latency / initial-token credit:
+/// δ = PairAnalysis::required_initial_tokens (the analysis' own
+/// schedule-alignment requirement, which is δ-independent) plus
+/// `token_slack_batches` batches of γ tokens.  Every edge of a closed
+/// loop lies inside the stage's fork-join block, where rates are static
+/// gear singletons — the cyclic model rule (no variable rates on cycle
+/// edges) holds by construction.
+struct RandomCyclicSpec {
+  RandomForkJoinSpec base;
+  /// Probability (percent) that a stage closes a feedback loop from its
+  /// join back to the actor it forked from.  At least one loop is always
+  /// closed (forced on the last stage when the draws produce none).
+  int feedback_percent = 60;
+  /// Initial-token batches (of γ tokens each) granted beyond the cycle
+  /// latency bound — headroom for the phase-2 periodic enforcement of the
+  /// verification harness.
+  std::int64_t token_slack_batches = 2;
+};
+
+/// A random, admissible cyclic model: fork-join stages with at least one
+/// tokened back-edge.  The computed capacities are verified sufficient by
+/// the two-phase simulation harness in the tests.
+[[nodiscard]] SyntheticChain make_random_cyclic(const RandomCyclicSpec& spec);
+
+/// A feedback (rate-control) pipeline — the canonical cyclic topology:
+///
+///   src ──→ dec ──→ present
+///    ▲       ╎
+///    │       ╎ dec→rctl: back-edge, δ = 12 initial tokens
+///    └─ rctl ←╌┘
+///
+/// `src` emits stream blocks only against credits issued by the rate
+/// controller (rctl→src), the decoder reports consumed blocks to the
+/// controller through the tokened back-edge dec→rctl (δ = 12 circulating
+/// reports prime the loop src→dec→rctl→src), and `present` consumes
+/// composed frames strictly periodically at 25 Hz (dropping some — zero
+/// quantum).  Gears src 4 / dec 2 / rctl 1 / present 1; every cycle edge
+/// carries static gear rates, the only variable rates live on the
+/// dec→present bridge edge.
+struct FeedbackPipeline {
+  dataflow::VrdfGraph graph;
+  dataflow::ActorId src, dec, present, rctl;
+  dataflow::BufferEdges src_dec, dec_present, dec_rctl, rctl_src;
+  analysis::ThroughputConstraint constraint;  // present at 25 Hz
+};
+[[nodiscard]] FeedbackPipeline make_feedback_pipeline();
+
 /// An audio/video playback fork-join (sink-constrained):
 ///
 ///            ┌─> adec ─┐

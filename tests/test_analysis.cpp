@@ -91,7 +91,7 @@ TEST(Pacing, SourceModeMirrorsZeroRules) {
 TEST(BufferSizing, Fig1CapacityAtMaxResponseTimes) {
   // s = τ/3, Δ = 2τ + 2s + 2s = 10τ/3, x = 10; variable pair ⇒ x+1 = 11.
   const models::Fig1Vrdf model = models::make_fig1_vrdf(kTau, kTau, kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       compute_buffer_capacities(model.graph, model.constraint);
   ASSERT_TRUE(analysis.admissible);
   ASSERT_EQ(analysis.pairs.size(), 1u);
@@ -103,7 +103,7 @@ TEST(BufferSizing, Fig1CapacityAtMaxResponseTimes) {
 
 TEST(BufferSizing, Fig1DeltaBreakdownMatchesEquations) {
   const models::Fig1Vrdf model = models::make_fig1_vrdf(kTau, kTau, kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       compute_buffer_capacities(model.graph, model.constraint);
   ASSERT_TRUE(analysis.admissible);
   const PairAnalysis& pair = analysis.pairs[0];
@@ -120,7 +120,7 @@ TEST(BufferSizing, Fig1DeltaBreakdownMatchesEquations) {
 TEST(BufferSizing, SmallerResponseTimesShrinkCapacity) {
   const Duration half = kTau / Rational(2);
   const models::Fig1Vrdf model = models::make_fig1_vrdf(kTau, half, half);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       compute_buffer_capacities(model.graph, model.constraint);
   ASSERT_TRUE(analysis.admissible);
   // Δ = τ + 4τ/3 = 7τ/3, x = 7 ⇒ 8.
@@ -147,7 +147,7 @@ TEST(BufferSizing, InadmissibleWhenResponseExceedsPacing) {
   // ρ(va) = 2τ > φ(va) = τ.
   const models::Fig1Vrdf model =
       models::make_fig1_vrdf(kTau, kTau * Rational(2), kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       compute_buffer_capacities(model.graph, model.constraint);
   EXPECT_FALSE(analysis.admissible);
   ASSERT_FALSE(analysis.diagnostics.empty());
@@ -162,7 +162,7 @@ TEST(BufferSizing, SourceConstrainedStaticPair) {
   const ActorId a = g.add_actor("a", kTau);
   const ActorId b = g.add_actor("b", kTau * Rational(2));
   (void)g.add_buffer(a, b, RateSet::singleton(2), RateSet::singleton(4));
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       compute_buffer_capacities(g, ThroughputConstraint{a, kTau});
   ASSERT_TRUE(analysis.admissible);
   EXPECT_EQ(analysis.side, ConstraintSide::Source);
@@ -182,14 +182,14 @@ TEST(BufferSizing, SourceAndSinkModesAreMirrorImages) {
   const ActorId sa = source_graph.add_actor("sa", rho_a);
   const ActorId sb = source_graph.add_actor("sb", rho_b);
   (void)source_graph.add_buffer(sa, sb, pi, gamma);
-  const ChainAnalysis source_analysis = compute_buffer_capacities(
+  const GraphAnalysis source_analysis = compute_buffer_capacities(
       source_graph, ThroughputConstraint{sa, kTau});
 
   VrdfGraph sink_graph;
   const ActorId kb = sink_graph.add_actor("kb", rho_b);
   const ActorId ka = sink_graph.add_actor("ka", rho_a);
   (void)sink_graph.add_buffer(kb, ka, gamma, pi);
-  const ChainAnalysis sink_analysis =
+  const GraphAnalysis sink_analysis =
       compute_buffer_capacities(sink_graph, ThroughputConstraint{ka, kTau});
 
   ASSERT_TRUE(source_analysis.admissible);
@@ -203,7 +203,7 @@ TEST(BufferSizing, SourceAndSinkModesAreMirrorImages) {
 TEST(BufferSizing, SingleActorChainIsTriviallyAdmissible) {
   VrdfGraph g;
   const ActorId a = g.add_actor("only", kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       compute_buffer_capacities(g, ThroughputConstraint{a, kTau});
   ASSERT_TRUE(analysis.admissible);
   EXPECT_TRUE(analysis.pairs.empty());
@@ -219,7 +219,7 @@ TEST(BufferSizing, SingleActorSlowerThanPeriodIsInadmissible) {
 
 TEST(BufferSizing, ApplyCapacitiesWritesSpaceEdges) {
   models::Fig1Vrdf model = models::make_fig1_vrdf(kTau, kTau, kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       compute_buffer_capacities(model.graph, model.constraint);
   ASSERT_TRUE(analysis.admissible);
   apply_capacities(model.graph, analysis);
@@ -230,7 +230,7 @@ TEST(BufferSizing, ApplyCapacitiesWritesSpaceEdges) {
 TEST(BufferSizing, ApplyCapacitiesRejectsInadmissibleAnalysis) {
   models::Fig1Vrdf model =
       models::make_fig1_vrdf(kTau, kTau * Rational(2), kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       compute_buffer_capacities(model.graph, model.constraint);
   ASSERT_FALSE(analysis.admissible);
   EXPECT_THROW(apply_capacities(model.graph, analysis), ContractError);
@@ -246,7 +246,7 @@ TEST(BufferSizing, WiderConsumptionSetNeverShrinksCapacity) {
     const ActorId b = g.add_actor("b", kTau);
     (void)g.add_buffer(a, b, RateSet::singleton(3),
                        RateSet::interval(gamma_min, 3));
-    const ChainAnalysis analysis =
+    const GraphAnalysis analysis =
         compute_buffer_capacities(g, ThroughputConstraint{b, kTau});
     ASSERT_TRUE(analysis.admissible);
     EXPECT_GE(analysis.pairs[0].capacity, previous);

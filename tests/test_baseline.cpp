@@ -130,7 +130,7 @@ TEST(ExactMinimal, NeverExceedsAnalysisCapacity) {
   // The analysis capacity is sufficient, so the search (with the analysis
   // value as upper bound) must succeed at or below it — per sequence.
   const models::Fig1Vrdf model = models::make_fig1_vrdf(kTau, kTau, kTau);
-  const analysis::ChainAnalysis chain_analysis =
+  const analysis::GraphAnalysis chain_analysis =
       analysis::compute_buffer_capacities(model.graph, model.constraint);
   ASSERT_TRUE(chain_analysis.admissible);
   const std::int64_t analysis_capacity = chain_analysis.pairs[0].capacity;

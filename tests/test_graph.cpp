@@ -361,6 +361,115 @@ TEST(Scc, BufferPairIsOneComponent) {
   EXPECT_EQ(strongly_connected_components(g).size(), 1u);
 }
 
+TEST(Scc, SelfLoopStaysASingletonComponent) {
+  // A self-loop does not merge its node with anything; the node is still
+  // its own (cyclic) component.
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  (void)g.add_edge(a, a);
+  (void)g.add_edge(a, b);
+  const auto sccs = strongly_connected_components(g);
+  ASSERT_EQ(sccs.size(), 2u);
+  EXPECT_EQ(sccs[0].size(), 1u);
+  EXPECT_EQ(sccs[1].size(), 1u);
+}
+
+TEST(Scc, ParallelAndAntiParallelEdgesDoNotOverMerge) {
+  // Parallel edges a→b (twice) create no cycle; the anti-parallel pair
+  // b⇄c does.  Components: {a}, {b, c}.
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(b, c);
+  (void)g.add_edge(c, b);
+  const auto sccs = strongly_connected_components(g);
+  ASSERT_EQ(sccs.size(), 2u);
+  std::size_t merged = 0;
+  for (const auto& component : sccs) {
+    merged = std::max(merged, component.size());
+  }
+  EXPECT_EQ(merged, 2u);
+}
+
+TEST(Scc, DisconnectedGraphCoversEveryNode) {
+  // Two disjoint pieces: a 2-cycle and an isolated node; every node must
+  // appear in exactly one component.
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  (void)g.add_node();  // isolated
+  (void)g.add_edge(a, b);
+  (void)g.add_edge(b, a);
+  const auto sccs = strongly_connected_components(g);
+  ASSERT_EQ(sccs.size(), 2u);
+  std::size_t covered = 0;
+  for (const auto& component : sccs) {
+    covered += component.size();
+  }
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(Scc, SingleNodeGraph) {
+  Digraph g;
+  (void)g.add_node();
+  const auto sccs = strongly_connected_components(g);
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0], (std::vector<NodeId>{NodeId(0)}));
+}
+
+TEST(Scc, EmptyGraphHasNoComponents) {
+  EXPECT_TRUE(strongly_connected_components(Digraph{}).empty());
+}
+
+TEST(FeedbackArcView, ClassifiesEdgesAgainstTheCondensation) {
+  // a ⇄ b → c → d → c, plus self-loop on a: the a↔b and c↔d cycles are
+  // components, the bridge b→c is the only acyclic edge.
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  const NodeId d = g.add_node();
+  const EdgeId ab = g.add_edge(a, b);
+  const EdgeId ba = g.add_edge(b, a);
+  const EdgeId bc = g.add_edge(b, c);
+  const EdgeId cd = g.add_edge(c, d);
+  const EdgeId dc = g.add_edge(d, c);
+  const EdgeId aa = g.add_edge(a, a);
+  const FeedbackArcView view = feedback_arc_view(g);
+  ASSERT_EQ(view.components.size(), 2u);
+  // Components come in topological order: {a, b} feeds {c, d}.
+  EXPECT_EQ(view.component_of[a.index()], view.component_of[b.index()]);
+  EXPECT_EQ(view.component_of[c.index()], view.component_of[d.index()]);
+  EXPECT_LT(view.component_of[a.index()], view.component_of[c.index()]);
+  EXPECT_TRUE(view.edge_on_cycle[ab.index()]);
+  EXPECT_TRUE(view.edge_on_cycle[ba.index()]);
+  EXPECT_FALSE(view.edge_on_cycle[bc.index()]);
+  EXPECT_TRUE(view.edge_on_cycle[cd.index()]);
+  EXPECT_TRUE(view.edge_on_cycle[dc.index()]);
+  EXPECT_TRUE(view.edge_on_cycle[aa.index()]);  // self-loop
+}
+
+TEST(FindDirectedCycle, ReportsACycleOrNothing) {
+  EXPECT_FALSE(find_directed_cycle(path_graph(4)).has_value());
+
+  Digraph g = path_graph(3);  // 0 → 1 → 2
+  (void)g.add_edge(NodeId(2), NodeId(0));
+  const auto cycle = find_directed_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, (std::vector<NodeId>{NodeId(0), NodeId(1), NodeId(2)}));
+
+  Digraph h;
+  const NodeId n = h.add_node();
+  (void)h.add_edge(n, n);
+  const auto loop = find_directed_cycle(h);
+  ASSERT_TRUE(loop.has_value());
+  EXPECT_EQ(*loop, (std::vector<NodeId>{n}));
+}
+
 TEST(HasPath, FindsAndRejectsPaths) {
   const Digraph g = path_graph(4);
   EXPECT_TRUE(has_path(g, NodeId(0), NodeId(3)));

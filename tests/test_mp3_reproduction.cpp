@@ -18,7 +18,7 @@ namespace vrdf {
 namespace {
 
 using analysis::AnalysisOptions;
-using analysis::ChainAnalysis;
+using analysis::GraphAnalysis;
 using analysis::RoundingMode;
 using models::make_mp3_playback;
 using models::Mp3PaperNumbers;
@@ -41,7 +41,7 @@ TEST(Mp3Reproduction, MaxAdmissibleResponseTimesMatchPaper) {
 
 TEST(Mp3Reproduction, VrdfCapacitiesMatchPaper) {
   const Mp3Playback app = make_mp3_playback();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   ASSERT_TRUE(analysis.admissible) << analysis.diagnostics.size();
   ASSERT_EQ(analysis.pairs.size(), 3u);
@@ -54,7 +54,7 @@ TEST(Mp3Reproduction, RawTokenCountsAreIntegral) {
   // The paper's arithmetic works out to exactly integral raw counts
   // x = {6014, 3262, 882}; any floating-point drift would break this.
   const Mp3Playback app = make_mp3_playback();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   ASSERT_TRUE(analysis.admissible);
   EXPECT_EQ(analysis.pairs[0].raw_tokens, Rational(6014));
@@ -66,7 +66,7 @@ TEST(Mp3Reproduction, PaperLiteralRoundingOverprovisionsStaticPairByOne) {
   const Mp3Playback app = make_mp3_playback();
   AnalysisOptions options;
   options.rounding = RoundingMode::PaperLiteral;
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(app.graph, app.constraint, options);
   ASSERT_TRUE(analysis.admissible);
   EXPECT_EQ(analysis.pairs[0].capacity, 6015);
@@ -91,7 +91,7 @@ TEST(Mp3Reproduction, PacingIsTightOnEveryActor) {
   // The paper's response times are exactly the pacing; the admissibility
   // check must accept equality.
   const Mp3Playback app = make_mp3_playback();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   ASSERT_TRUE(analysis.admissible);
   for (std::size_t i = 0; i < analysis.actors_in_order.size(); ++i) {
@@ -104,7 +104,7 @@ class Mp3Verification : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(Mp3Verification, ComputedCapacitiesSustainPeriodicDac) {
   Mp3Playback app = make_mp3_playback();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   ASSERT_TRUE(analysis.admissible);
   analysis::apply_capacities(app.graph, analysis);
@@ -126,7 +126,7 @@ TEST(Mp3Reproduction, AdversarialConstantLowBitrateSustainsPeriodicDac) {
   // via back-pressure — the situation Sec 2 describes.  Capacities must
   // still hold.
   Mp3Playback app = make_mp3_playback();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   ASSERT_TRUE(analysis.admissible);
   analysis::apply_capacities(app.graph, analysis);
@@ -146,7 +146,7 @@ TEST(Mp3Reproduction, AdversarialConstantLowBitrateSustainsPeriodicDac) {
 
 TEST(Mp3Reproduction, MinMaxAlternationSustainsPeriodicDac) {
   Mp3Playback app = make_mp3_playback();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   ASSERT_TRUE(analysis.admissible);
   analysis::apply_capacities(app.graph, analysis);

@@ -17,7 +17,7 @@ TEST(MinPeriod, Mp3RoundTripIsExact) {
   // fastest admissible period is exactly 1/44100 s (the response-time
   // constraints bind — the paper chose ρ(v) = φ(v)).
   models::Mp3Playback app = models::make_mp3_playback();
-  const ChainAnalysis sized =
+  const GraphAnalysis sized =
       compute_buffer_capacities(app.graph, app.constraint);
   apply_capacities(app.graph, sized);
   const MinPeriodResult inverse = min_admissible_period(app.graph, app.dac);
@@ -37,7 +37,7 @@ TEST(MinPeriod, CapacityBoundWhenResponseTimesHaveSlack) {
   const Duration tau = milliseconds(Rational(3));
   models::Fig1Vrdf model =
       models::make_fig1_vrdf(tau, tau / Rational(2), tau / Rational(2));
-  const ChainAnalysis sized =
+  const GraphAnalysis sized =
       compute_buffer_capacities(model.graph, model.constraint);
   ASSERT_TRUE(sized.admissible);
   apply_capacities(model.graph, sized);
@@ -49,7 +49,7 @@ TEST(MinPeriod, CapacityBoundWhenResponseTimesHaveSlack) {
 
   // At the reported minimum the same capacities must still be admissible
   // and sufficient per the forward analysis...
-  const ChainAnalysis at_min = compute_buffer_capacities(
+  const GraphAnalysis at_min = compute_buffer_capacities(
       model.graph, ThroughputConstraint{model.vb, inverse.min_period});
   ASSERT_TRUE(at_min.admissible);
   for (std::size_t i = 0; i < at_min.pairs.size(); ++i) {
@@ -61,7 +61,7 @@ TEST(MinPeriod, CapacityBoundWhenResponseTimesHaveSlack) {
   // by design: the literal forward rounding accepts x < d, an open
   // condition with no attained minimum period.
   const Duration faster = inverse.min_period * Rational(99, 100);
-  const ChainAnalysis too_fast = compute_buffer_capacities(
+  const GraphAnalysis too_fast = compute_buffer_capacities(
       model.graph, ThroughputConstraint{model.vb, faster});
   bool violated = !too_fast.admissible;
   if (!violated) {
@@ -79,7 +79,7 @@ TEST(MinPeriod, VerifiedBySimulationAtTheMinimum) {
   const Duration tau = milliseconds(Rational(3));
   models::Fig1Vrdf model =
       models::make_fig1_vrdf(tau, tau / Rational(2), tau / Rational(2));
-  const ChainAnalysis sized =
+  const GraphAnalysis sized =
       compute_buffer_capacities(model.graph, model.constraint);
   apply_capacities(model.graph, sized);
   const MinPeriodResult inverse =
@@ -96,7 +96,7 @@ TEST(MinPeriod, VerifiedBySimulationAtTheMinimum) {
 
 TEST(MinPeriod, SourceConstrainedRoundTrip) {
   models::SyntheticChain chain = models::make_sensor_acquisition();
-  const ChainAnalysis sized =
+  const GraphAnalysis sized =
       compute_buffer_capacities(chain.graph, chain.constraint);
   ASSERT_TRUE(sized.admissible);
   apply_capacities(chain.graph, sized);
@@ -136,7 +136,7 @@ TEST(MinPeriod, LargerCapacityNeverSlowsTheMinimum) {
 
 TEST(MinPeriod, ReportsBindingConstraint) {
   models::Mp3Playback app = models::make_mp3_playback();
-  const ChainAnalysis sized =
+  const GraphAnalysis sized =
       compute_buffer_capacities(app.graph, app.constraint);
   apply_capacities(app.graph, sized);
   const MinPeriodResult inverse = min_admissible_period(app.graph, app.dac);
@@ -153,7 +153,7 @@ TEST_P(MinPeriodRoundTrip, ForwardThenInverseIsConsistentOnRandomChains) {
   spec.length = 3 + spec.seed % 4;
   spec.response_fraction = Rational(1, 2);
   models::SyntheticChain chain = models::make_random_chain(spec);
-  const ChainAnalysis sized =
+  const GraphAnalysis sized =
       compute_buffer_capacities(chain.graph, chain.constraint);
   ASSERT_TRUE(sized.admissible);
   apply_capacities(chain.graph, sized);
@@ -170,7 +170,7 @@ TEST_P(MinPeriodRoundTrip, ForwardThenInverseIsConsistentOnRandomChains) {
   EXPECT_LE(inverse.infimum_period, inverse.min_period);
   // The forward analysis at the (attained, conservative) minimum must fit
   // within the installed capacities.
-  const ChainAnalysis at_min = compute_buffer_capacities(
+  const GraphAnalysis at_min = compute_buffer_capacities(
       chain.graph,
       ThroughputConstraint{chain.constraint.actor, inverse.min_period});
   ASSERT_TRUE(at_min.admissible);

@@ -113,7 +113,7 @@ TEST(Platform, FullDesignFlowOnMp3) {
                          RateSet::singleton(1));
   const analysis::ThroughputConstraint constraint{
       dac, period_of_hz(Rational(44100))};
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(graph, constraint);
   ASSERT_TRUE(sized.admissible);
   // Smaller kappas than the paper's maxima shrink the capacities.

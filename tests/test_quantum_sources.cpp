@@ -101,7 +101,7 @@ TEST(ResponseJitter, RejectsBadFractions) {
 
 TEST(ResponseJitter, FiringsFinishWithinTheJitterWindow) {
   models::Mp3Playback app = models::make_mp3_playback();
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   analysis::apply_capacities(app.graph, sized);
   Simulator sim(app.graph);
@@ -130,7 +130,7 @@ TEST_P(JitteredMp3, WorstCaseCapacitiesToleratEarlyFinishes) {
   // DAC.  Jitter everything except the DAC itself (the constrained actor's
   // period is enforced, not its response time).
   models::Mp3Playback app = models::make_mp3_playback();
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   analysis::apply_capacities(app.graph, sized);
 

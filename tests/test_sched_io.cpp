@@ -78,7 +78,7 @@ TEST(Arbiter, ResponseTimesFeedTheAnalysis) {
   // κ = 1·(2−1)+1 = 2 ms.
   models::Fig1Vrdf model =
       models::make_fig1_vrdf(milliseconds(Rational(2)), kappa, kappa);
-  const analysis::ChainAnalysis analysis =
+  const analysis::GraphAnalysis analysis =
       analysis::compute_buffer_capacities(model.graph, model.constraint);
   EXPECT_TRUE(analysis.admissible);
 }
@@ -109,7 +109,7 @@ TEST(TextFormat, RoundTripPreservesModel) {
   ASSERT_TRUE(parsed.constraint.has_value());
   EXPECT_EQ(parsed.constraint->period, period_of_hz(Rational(44100)));
   // The parsed model must produce the same capacities.
-  const analysis::ChainAnalysis analysis = analysis::compute_buffer_capacities(
+  const analysis::GraphAnalysis analysis = analysis::compute_buffer_capacities(
       parsed.graph, *parsed.constraint);
   ASSERT_TRUE(analysis.admissible);
   EXPECT_EQ(analysis.pairs[0].capacity, 6015);
@@ -168,7 +168,7 @@ TEST(TextFormat, MalformedInputsRejectedWithLineNumbers) {
 
 TEST(Report, ContainsAllSections) {
   models::Mp3Playback app = models::make_mp3_playback();
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   analysis::apply_capacities(app.graph, sized);
   const std::string report =
@@ -185,7 +185,7 @@ TEST(Report, ContainsAllSections) {
 
 TEST(Report, FlagsInstalledCapacityMismatch) {
   models::Mp3Playback app = models::make_mp3_playback();
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   analysis::apply_capacities(app.graph, sized);
   app.graph.set_initial_tokens(app.b2.space, 9999);
@@ -197,7 +197,7 @@ TEST(Report, FlagsInstalledCapacityMismatch) {
 
 TEST(Report, RejectsInadmissibleAnalysis) {
   models::Mp3Playback app = models::make_mp3_playback();
-  const analysis::ChainAnalysis bad = analysis::compute_buffer_capacities(
+  const analysis::GraphAnalysis bad = analysis::compute_buffer_capacities(
       app.graph,
       analysis::ThroughputConstraint{app.dac, period_of_hz(Rational(96000))});
   ASSERT_FALSE(bad.admissible);

@@ -13,7 +13,7 @@
 namespace vrdf {
 namespace {
 
-using analysis::ChainAnalysis;
+using analysis::GraphAnalysis;
 using models::RandomChainSpec;
 using models::SyntheticChain;
 
@@ -27,7 +27,7 @@ TEST_P(RandomChainSweep, GeneratedChainsAreValidAndAdmissible) {
   spec.length = 3 + spec.seed % 4;
   SyntheticChain chain = models::make_random_chain(spec);
   EXPECT_TRUE(dataflow::validate_chain_model(chain.graph).ok());
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(chain.graph, chain.constraint);
   ASSERT_TRUE(analysis.admissible);
   EXPECT_EQ(analysis.pairs.size(), spec.length - 1);
@@ -45,7 +45,7 @@ TEST_P(RandomChainSweep, ComputedCapacitiesPassSimulation) {
   // Leave some slack so simulations converge quickly, like real systems do.
   spec.response_fraction = Rational(3, 4);
   SyntheticChain chain = models::make_random_chain(spec);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(chain.graph, chain.constraint);
   ASSERT_TRUE(analysis.admissible);
   analysis::apply_capacities(chain.graph, analysis);
@@ -69,7 +69,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(VideoPipeline, AdmissibleAndVerified) {
   SyntheticChain chain = models::make_video_pipeline();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(chain.graph, chain.constraint);
   ASSERT_TRUE(analysis.admissible);
   EXPECT_EQ(analysis.side, analysis::ConstraintSide::Sink);
@@ -84,7 +84,7 @@ TEST(VideoPipeline, AdmissibleAndVerified) {
 
 TEST(SensorAcquisition, SourceConstrainedAdmissibleAndVerified) {
   SyntheticChain chain = models::make_sensor_acquisition();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(chain.graph, chain.constraint);
   ASSERT_TRUE(analysis.admissible);
   EXPECT_EQ(analysis.side, analysis::ConstraintSide::Source);

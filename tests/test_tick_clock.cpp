@@ -341,7 +341,7 @@ TEST(TickRationalEquivalence, RandomChains) {
     spec.variable_percent = 60;
     spec.zero_percent = 20;
     const models::SyntheticChain chain = models::make_random_chain(spec);
-    const analysis::ChainAnalysis sized =
+    const analysis::GraphAnalysis sized =
         analysis::compute_buffer_capacities(chain.graph, chain.constraint);
     ASSERT_TRUE(sized.admissible) << "seed " << seed;
     dataflow::VrdfGraph graph = chain.graph;
@@ -359,7 +359,7 @@ TEST(TickRationalEquivalence, RandomChainWithJitterAndDelays) {
   spec.length = 5;
   spec.variable_percent = 50;
   const models::SyntheticChain chain = models::make_random_chain(spec);
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(chain.graph, chain.constraint);
   ASSERT_TRUE(sized.admissible);
   dataflow::VrdfGraph graph = chain.graph;
@@ -377,7 +377,7 @@ TEST(TickRationalEquivalence, RandomChainWithJitterAndDelays) {
 
 TEST(TickRationalEquivalence, Mp3ModelWithJitterReleaseDelayAndRecords) {
   models::Mp3Playback app = models::make_mp3_playback();
-  const analysis::ChainAnalysis sized =
+  const analysis::GraphAnalysis sized =
       analysis::compute_buffer_capacities(app.graph, app.constraint);
   ASSERT_TRUE(sized.admissible);
   analysis::apply_capacities(app.graph, sized);

@@ -13,7 +13,7 @@
 namespace vrdf {
 namespace {
 
-using analysis::ChainAnalysis;
+using analysis::GraphAnalysis;
 using analysis::ThroughputConstraint;
 using dataflow::RateSet;
 using models::Fig1Vrdf;
@@ -22,7 +22,7 @@ const Duration kTau = milliseconds(Rational(3));
 
 Fig1Vrdf sized_fig1() {
   Fig1Vrdf model = models::make_fig1_vrdf(kTau, kTau, kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(model.graph, model.constraint);
   analysis::apply_capacities(model.graph, analysis);
   return model;
@@ -110,7 +110,7 @@ TEST_P(TemporalProperties, RandomChainsAreMonotonicAndLinear) {
   spec.length = 4;
   spec.response_fraction = Rational(1, 2);
   models::SyntheticChain chain = models::make_random_chain(spec);
-  const ChainAnalysis analysis = analysis::compute_buffer_capacities(
+  const GraphAnalysis analysis = analysis::compute_buffer_capacities(
       chain.graph, chain.constraint);
   ASSERT_TRUE(analysis.admissible);
   analysis::apply_capacities(chain.graph, analysis);
@@ -137,7 +137,7 @@ TEST(LinearBounds, EvaluationIsAffine) {
 
 TEST(LinearBounds, PairBoundsSatisfyEquations) {
   const models::Fig1Vrdf model = models::make_fig1_vrdf(kTau, kTau, kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(model.graph, model.constraint);
   ASSERT_TRUE(analysis.admissible);
   const analysis::PairBounds bounds =
@@ -156,7 +156,7 @@ TEST(LinearBounds, PairBoundsSatisfyEquations) {
 
 TEST(LinearBounds, JustConservativeSchedulesAreConservative) {
   const models::Fig1Vrdf model = models::make_fig1_vrdf(kTau, kTau, kTau);
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(model.graph, model.constraint);
   const analysis::PairBounds bounds =
       analysis::derive_pair_bounds(analysis.pairs[0], TimePoint());
@@ -205,7 +205,7 @@ TEST(LinearBounds, PeriodicMaxRateRunMatchesBoundsExactly) {
   // pinned one period after the anchor (o = A + γ̂·s = A + τ), the offset
   // at which its lower consumption bound is met with equality.
   models::Fig1Vrdf model = sized_fig1();
-  const ChainAnalysis analysis =
+  const GraphAnalysis analysis =
       analysis::compute_buffer_capacities(model.graph, model.constraint);
   const Duration s = analysis.pairs[0].bound_rate;
   const TimePoint anchor = TimePoint() + (kTau - s);  // ρ(va) − s
