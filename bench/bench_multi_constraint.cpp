@@ -1,0 +1,74 @@
+// Multi-constraint analysis performance: the dual-sink A/V pipeline and
+// random multi-sink graphs of growing width.  Compiled into bench_perf
+// (no own main) so the `bench` target's BENCH_PR<N>.json captures the
+// multi-constraint series alongside the single-constraint ones.
+#include <benchmark/benchmark.h>
+
+#include "analysis/buffer_sizing.hpp"
+#include "analysis/period.hpp"
+#include "models/synthetic.hpp"
+#include "sim/verify.hpp"
+
+namespace {
+
+using namespace vrdf;
+
+void BM_DualSinkAvAnalysis(benchmark::State& state) {
+  const models::AvDualSinkPipeline app = models::make_av_dual_sink_pipeline();
+  for (auto _ : state) {
+    const analysis::GraphAnalysis result =
+        analysis::compute_buffer_capacities(app.graph, app.constraints);
+    benchmark::DoNotOptimize(result.total_capacity);
+  }
+}
+BENCHMARK(BM_DualSinkAvAnalysis);
+
+void BM_MultiSinkAnalysisVsSinks(benchmark::State& state) {
+  models::RandomMultiSinkSpec spec;
+  spec.seed = 13;
+  spec.sinks = static_cast<std::size_t>(state.range(0));
+  spec.max_branch_length = 3;
+  spec.max_prefix_length = 2;
+  const models::SyntheticMultiConstraint model =
+      models::make_random_multi_sink(spec);
+  for (auto _ : state) {
+    const analysis::GraphAnalysis result =
+        analysis::compute_buffer_capacities(model.graph, model.constraints);
+    benchmark::DoNotOptimize(result.total_capacity);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiSinkAnalysisVsSinks)->RangeMultiplier(2)->Range(2, 16)
+    ->Complexity(benchmark::oN);
+
+void BM_MultiConstraintMinPeriod(benchmark::State& state) {
+  models::AvDualSinkPipeline app = models::make_av_dual_sink_pipeline();
+  const analysis::GraphAnalysis sized =
+      analysis::compute_buffer_capacities(app.graph, app.constraints);
+  analysis::apply_capacities(app.graph, sized);
+  for (auto _ : state) {
+    const analysis::MinPeriodResult headroom = analysis::min_admissible_period(
+        app.graph, app.constraints, app.vpresent);
+    benchmark::DoNotOptimize(headroom.ok);
+  }
+}
+BENCHMARK(BM_MultiConstraintMinPeriod);
+
+void BM_DualSinkVerify(benchmark::State& state) {
+  // The two-phase harness with both presenters enforced (100 observed
+  // firings — the verification cost scales with the horizon).
+  models::AvDualSinkPipeline app = models::make_av_dual_sink_pipeline();
+  const analysis::GraphAnalysis sized =
+      analysis::compute_buffer_capacities(app.graph, app.constraints);
+  analysis::apply_capacities(app.graph, sized);
+  sim::VerifyOptions options;
+  options.observe_firings = 100;
+  for (auto _ : state) {
+    const sim::VerifyResult verdict =
+        sim::verify_throughput(app.graph, app.constraints, {}, options);
+    benchmark::DoNotOptimize(verdict.ok);
+  }
+}
+BENCHMARK(BM_DualSinkVerify);
+
+}  // namespace

@@ -6,7 +6,8 @@
 //              [--trace-csv=FILE] [--annotate=FILE]
 //
 // Reads a chain model (see io/text_format.hpp for the format; the file
-// must contain a `constraint` line), computes buffer capacities, prints a
+// must contain at least one `constraint` line — several lines declare a
+// simultaneous constraint set), computes buffer capacities, prints a
 // report, and optionally:
 //   --verify        runs the two-phase simulation check,
 // and always reports the fastest admissible period ("rate headroom") the
@@ -122,7 +123,7 @@ int main(int argc, char** argv) {
     std::cerr << options.model_path << ": " << err.what() << '\n';
     return 2;
   }
-  if (!doc.constraint.has_value()) {
+  if (doc.constraints.empty()) {
     std::cerr << options.model_path << ": no 'constraint' line\n";
     return 2;
   }
@@ -130,7 +131,7 @@ int main(int argc, char** argv) {
   analysis::AnalysisOptions analysis_options;
   analysis_options.rounding = options.rounding;
   analysis::GraphAnalysis result = analysis::compute_buffer_capacities(
-      doc.graph, *doc.constraint, analysis_options);
+      doc.graph, doc.constraints, analysis_options);
   if (!result.admissible) {
     std::cerr << "constraint not satisfiable:\n";
     for (const auto& d : result.diagnostics) {
@@ -159,9 +160,15 @@ int main(int argc, char** argv) {
   analysis::apply_capacities(doc.graph, result);
 
   // Rate headroom: the fastest period the just-computed capacities (and
-  // the given response times) can sustain.
-  const analysis::MinPeriodResult headroom = analysis::min_admissible_period(
-      doc.graph, doc.constraint->actor, analysis_options);
+  // the given response times) can sustain — for a constraint set, the
+  // first constraint is scaled with the others held fixed.
+  const analysis::MinPeriodResult headroom =
+      doc.constraints.size() > 1
+          ? analysis::min_admissible_period(doc.graph, doc.constraints,
+                                            doc.constraints.front().actor,
+                                            analysis_options)
+          : analysis::min_admissible_period(
+                doc.graph, doc.constraints.front().actor, analysis_options);
   if (headroom.ok) {
     std::cout << "fastest admissible period with these capacities: "
               << headroom.min_period.seconds().to_string() << " s (binding: "
@@ -174,14 +181,16 @@ int main(int argc, char** argv) {
     verify_options.observe_firings = options.verify_firings;
     verify_options.default_seed = options.seed;
     const sim::VerifyResult verdict =
-        sim::verify_throughput(doc.graph, *doc.constraint, {}, verify_options);
+        sim::verify_throughput(doc.graph, doc.constraints, {}, verify_options);
     std::cout << "verify: " << (verdict.ok ? "OK" : "FAILED") << " — "
               << verdict.detail << '\n';
     ok = verdict.ok;
 
     if (!options.trace_path.empty()) {
       // Re-run with recording to capture an occupancy trace of the
-      // periodic phase.
+      // periodic phase (the first constraint's grid; the others run
+      // self-timed here, which monotonicity makes a valid occupancy
+      // envelope).
       sim::Simulator sim(doc.graph);
       sim.set_default_sources(options.seed);
       sim.set_actor_mode(doc.constraint->actor,
@@ -203,17 +212,17 @@ int main(int argc, char** argv) {
 
   if (!options.dot_path.empty()) {
     std::ofstream dot(options.dot_path);
-    dot << io::to_dot(doc.graph, *doc.constraint, result);
+    dot << io::to_dot(doc.graph, doc.constraints, result);
     std::cout << "wrote " << options.dot_path << '\n';
   }
   if (!options.report_path.empty()) {
     std::ofstream report(options.report_path);
-    report << io::analysis_report(doc.graph, *doc.constraint, result);
+    report << io::analysis_report(doc.graph, doc.constraints, result);
     std::cout << "wrote " << options.report_path << '\n';
   }
   if (!options.annotate_path.empty()) {
     std::ofstream annotated(options.annotate_path);
-    annotated << io::write_chain(doc.graph, doc.constraint);
+    annotated << io::write_chain(doc.graph, doc.constraints);
     std::cout << "wrote " << options.annotate_path << '\n';
   }
   return ok ? 0 : 1;

@@ -32,21 +32,28 @@ std::int64_t round_capacity(const Rational& raw, bool tight_pair,
 GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
                                         const ThroughputConstraint& constraint,
                                         const AnalysisOptions& options) {
+  return compute_buffer_capacities(graph, ConstraintSet{constraint}, options);
+}
+
+GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
+                                        const ConstraintSet& constraints,
+                                        const AnalysisOptions& options) {
   GraphAnalysis analysis;
 
-  PacingResult pacing = compute_pacing(graph, constraint);
+  PacingResult pacing = compute_pacing(graph, constraints);
   analysis.diagnostics = pacing.diagnostics;
   if (!pacing.ok) {
     return analysis;
   }
   analysis.side = pacing.side;
+  analysis.constraints = pacing.constraints;
   analysis.is_chain = pacing.is_chain;
   analysis.is_cyclic = pacing.is_cyclic;
   analysis.actors_in_order = pacing.actors_in_order;
   analysis.pacing = pacing.pacing;
 
   // Producer/consumer schedule validity (Sec 4.2): every actor must finish
-  // a firing within its pacing, ρ(v) <= φ(v).  For the constrained actor
+  // a firing within its pacing, ρ(v) <= φ(v).  For constrained actors
   // φ = τ; for the others φ is the propagated value.
   bool admissible = true;
   for (std::size_t i = 0; i < analysis.actors_in_order.size(); ++i) {
@@ -65,73 +72,96 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     return analysis;
   }
 
-  // Schedule alignment ω(v): the worst-case lead (sink mode) or lag
-  // (source mode) of v's constructed schedule relative to the constrained
-  // actor.  An actor shared by several paths — a fork's producer, a
-  // join's consumer — runs ONE schedule, pinned to its most demanding
-  // path; on every other incident edge the buffer must absorb the gap.
-  // Propagated as a longest path over the data DAG:
-  //   sink mode:   ω(a) = ρ(a) + max over out-edges e (ω(cons(e)) +
-  //                s_e·(π̂(e) − 1)),  ω(constrained sink) = 0;
-  //   source mode: ω(y) = max over in-edges e (ω(prod(e)) + ρ(prod(e)) +
-  //                s_e·(π̂(e) − 1)),  ω(constrained source) = 0.
+  // True when v carries a throughput constraint of the given kind
+  // (sink-kind: a data sink of the skeleton; source-kind: a data source).
+  const auto constrained_kind = [&](dataflow::ActorId v, bool sink_kind) {
+    const std::size_t c = pacing.constraint_of_actor[v.index()];
+    return c != PacingResult::npos &&
+           pacing.constraint_is_sink_kind[c] == sink_kind;
+  };
+
+  // Schedule alignment ω(v): the worst-case lead (sink-determined region)
+  // or lag (source-determined region) of v's constructed schedule
+  // relative to its anchoring constrained actor.  An actor shared by
+  // several paths — a fork's producer, a join's consumer — runs ONE
+  // schedule, pinned to its most demanding path; on every other incident
+  // edge the buffer must absorb the gap.  Propagated as a longest path
+  // over the data DAG, following each edge's rate-determining side:
+  //   sink-determined:   ω(a) = ρ(a) + max over such out-edges e
+  //                      (ω(cons(e)) + s_e·(π̂(e) − 1)),
+  //                      ω(sink-kind constrained actor) = 0;
+  //   source-determined: ω(y) = max over such in-edges e (ω(prod(e)) +
+  //                      ρ(prod(e)) + s_e·(π̂(e) − 1)),
+  //                      ω(source-kind constrained actor) = 0.
   // On a chain the max ranges over the single incident edge and
-  // ω(far) − ω(near) collapses to Eq (1)'s ρ + s·(π̂ − 1) exactly.
+  // ω(far) − ω(near) collapses to Eq (1)'s ρ + s·(π̂ − 1) exactly.  On
+  // mixed constraint sets the source-determined region hangs off the
+  // sink-anchored one: a boundary producer enters pass B with the pass-A
+  // lead it already carries, so the dangling region's buffers absorb its
+  // misalignment on top of their own (the fork sibling-slack argument,
+  // composed across the two passes).
   const dataflow::VrdfGraph::BufferView& view = pacing.view;
-  const auto bound_rate_of = [&](const Edge& data) {
-    return analysis.side == ConstraintSide::Sink
+  const auto bound_rate_of = [&](std::size_t pos, const Edge& data) {
+    return pacing.determined_by[pos] == ConstraintSide::Sink
                ? pacing.pacing_of(data.target) / Rational(data.consumption.max())
                : pacing.pacing_of(data.source) / Rational(data.production.max());
   };
   std::vector<Duration> lead(graph.actor_count());
-  if (analysis.side == ConstraintSide::Sink) {
-    for (auto it = analysis.actors_in_order.rbegin();
-         it != analysis.actors_in_order.rend(); ++it) {
-      const dataflow::ActorId v = *it;
-      if (v == constraint.actor) {
+  // Pass A — sink-anchored region, reverse topological order.
+  for (auto it = analysis.actors_in_order.rbegin();
+       it != analysis.actors_in_order.rend(); ++it) {
+    const dataflow::ActorId v = *it;
+    if (!pacing.sink_anchored[v.index()] || constrained_kind(v, true)) {
+      continue;
+    }
+    Duration longest;
+    for (const std::size_t pos : view.out_buffers[v.index()]) {
+      if (pacing.determined_by[pos] != ConstraintSide::Sink) {
         continue;
       }
-      Duration longest;
-      for (const std::size_t pos : view.out_buffers[v.index()]) {
-        const Edge& data = graph.edge(view.buffers[pos].data);
-        const Duration candidate =
-            lead[data.target.index()] +
-            bound_rate_of(data) * Rational(data.production.max() - 1);
-        if (candidate > longest) {
-          longest = candidate;
-        }
+      const Edge& data = graph.edge(view.buffers[pos].data);
+      const Duration candidate =
+          lead[data.target.index()] +
+          bound_rate_of(pos, data) * Rational(data.production.max() - 1);
+      if (candidate > longest) {
+        longest = candidate;
       }
-      lead[v.index()] = graph.actor(v).response_time + longest;
     }
-  } else {
-    for (const dataflow::ActorId v : analysis.actors_in_order) {
-      if (v == constraint.actor) {
+    lead[v.index()] = graph.actor(v).response_time + longest;
+  }
+  // Pass B — the rest, forward topological order.
+  for (const dataflow::ActorId v : analysis.actors_in_order) {
+    if (pacing.sink_anchored[v.index()] || constrained_kind(v, false)) {
+      continue;
+    }
+    Duration longest;
+    for (const std::size_t pos : view.in_buffers[v.index()]) {
+      if (pacing.determined_by[pos] != ConstraintSide::Source) {
         continue;
       }
-      Duration longest;
-      for (const std::size_t pos : view.in_buffers[v.index()]) {
-        const Edge& data = graph.edge(view.buffers[pos].data);
-        const Duration candidate =
-            lead[data.source.index()] +
-            graph.actor(data.source).response_time +
-            bound_rate_of(data) * Rational(data.production.max() - 1);
-        if (candidate > longest) {
-          longest = candidate;
-        }
+      const Edge& data = graph.edge(view.buffers[pos].data);
+      const Duration candidate =
+          lead[data.source.index()] +
+          graph.actor(data.source).response_time +
+          bound_rate_of(pos, data) * Rational(data.production.max() - 1);
+      if (candidate > longest) {
+        longest = candidate;
       }
-      lead[v.index()] = longest;
     }
+    lead[v.index()] = longest;
   }
 
   analysis.pairs.reserve(pacing.buffers_in_order.size());
   for (std::size_t i = 0; i < pacing.buffers_in_order.size(); ++i) {
     const dataflow::BufferEdges buffer = pacing.buffers_in_order[i];
     const Edge& data = graph.edge(buffer.data);
+    const ConstraintSide pair_side = pacing.determined_by[i];
 
     PairAnalysis pair;
     pair.producer = data.source;
     pair.consumer = data.target;
     pair.buffer = buffer;
+    pair.determined_by = pair_side;
     pair.is_static = data.production.is_singleton() &&
                      data.consumption.is_singleton();
 
@@ -139,7 +169,7 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     const std::int64_t gamma_max = data.consumption.max();
 
     // Bound rate s: time per token of the pair's linear bounds.
-    if (analysis.side == ConstraintSide::Sink) {
+    if (pair_side == ConstraintSide::Sink) {
       pair.pacing_basis = pacing.pacing_of(data.target);  // φ(consumer)
       pair.bound_rate = pair.pacing_basis / Rational(gamma_max);
     } else {
@@ -161,7 +191,7 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     // back-edge the consumer *leads* the producer (the gap is ≤ 0) and
     // the chain-local term is the binding one.
     const Duration alignment_gap =
-        analysis.side == ConstraintSide::Sink
+        pair_side == ConstraintSide::Sink
             ? lead[pair.producer.index()] - lead[pair.consumer.index()]
             : lead[pair.consumer.index()] - lead[pair.producer.index()];
     const Duration chain_local =
@@ -175,15 +205,15 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     // Eq (4): horizontal distance between the space-edge bounds in tokens.
     pair.raw_tokens = pair.delta_total / pair.bound_rate;
     // The tight value x (without the +1) is sound exactly when the pair is
-    // static and sits at the constrained end of the graph: the constrained
-    // actor's transfer times are exactly periodic, so the delay slack the
-    // +1 provides cannot be needed.  Back-edges never qualify — their
-    // consumer's schedule is pinned to the whole loop, not to the
-    // constrained actor alone.
+    // static and sits at a constrained end of the graph on its
+    // rate-determining side: the constrained actor's transfer times are
+    // exactly periodic, so the delay slack the +1 provides cannot be
+    // needed.  Back-edges never qualify — their consumer's schedule is
+    // pinned to the whole loop, not to the constrained actor alone.
     const bool adjacent_to_constrained =
-        analysis.side == ConstraintSide::Sink
-            ? data.target == constraint.actor
-            : data.source == constraint.actor;
+        pair_side == ConstraintSide::Sink
+            ? constrained_kind(data.target, /*sink_kind=*/true)
+            : constrained_kind(data.source, /*sink_kind=*/false);
     pair.capacity = round_capacity(
         pair.raw_tokens,
         pair.is_static && adjacent_to_constrained && !pair.is_feedback,
@@ -201,7 +231,7 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     // used to size a loop's tokens).
     if (pair.is_feedback) {
       const Duration reverse_gap =
-          analysis.side == ConstraintSide::Sink
+          pair_side == ConstraintSide::Sink
               ? lead[pair.consumer.index()] - lead[pair.producer.index()]
               : lead[pair.producer.index()] - lead[pair.consumer.index()];
       pair.required_initial_tokens =
@@ -250,8 +280,13 @@ void apply_capacities(VrdfGraph& graph, const GraphAnalysis& analysis) {
 
 ResponseTimeBudget max_admissible_response_times(
     const VrdfGraph& graph, const ThroughputConstraint& constraint) {
+  return max_admissible_response_times(graph, ConstraintSet{constraint});
+}
+
+ResponseTimeBudget max_admissible_response_times(
+    const VrdfGraph& graph, const ConstraintSet& constraints) {
   ResponseTimeBudget budget;
-  PacingResult pacing = compute_pacing(graph, constraint);
+  PacingResult pacing = compute_pacing(graph, constraints);
   budget.diagnostics = pacing.diagnostics;
   if (!pacing.ok) {
     return budget;

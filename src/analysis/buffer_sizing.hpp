@@ -51,6 +51,20 @@ namespace vrdf::analysis {
     const dataflow::VrdfGraph& graph, const ThroughputConstraint& constraint,
     const AnalysisOptions& options = {});
 
+/// Constraint-set overload: sizes a graph with several simultaneous
+/// throughput constraints (e.g. an audio and a video presenter, or a
+/// pinned source *and* sink).  Every constrained actor must be a data
+/// source or sink of the skeleton, every actor must be paced by some
+/// constraint, and the periods must be mutually flow-consistent — the
+/// pacing propagation rejects anything else with diagnostics naming the
+/// binding constraint and path (see analysis/pacing.hpp).  Per pair the
+/// rate-determining side is assigned individually (PairAnalysis::
+/// determined_by); with exactly one constraint the result is bit-for-bit
+/// the single-constraint analysis.
+[[nodiscard]] GraphAnalysis compute_buffer_capacities(
+    const dataflow::VrdfGraph& graph, const ConstraintSet& constraints,
+    const AnalysisOptions& options = {});
+
 /// Writes the computed capacities into the graph: δ(space edge) of every
 /// analysed buffer is set to the pair's capacity minus the containers the
 /// buffer's initial data tokens occupy.  Requires an admissible analysis
@@ -70,5 +84,9 @@ struct ResponseTimeBudget {
 };
 [[nodiscard]] ResponseTimeBudget max_admissible_response_times(
     const dataflow::VrdfGraph& graph, const ThroughputConstraint& constraint);
+
+/// Constraint-set overload of the response-time budget.
+[[nodiscard]] ResponseTimeBudget max_admissible_response_times(
+    const dataflow::VrdfGraph& graph, const ConstraintSet& constraints);
 
 }  // namespace vrdf::analysis

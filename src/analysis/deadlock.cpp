@@ -56,6 +56,14 @@ std::vector<std::int64_t> min_deadlock_free_capacities(
   return minima;
 }
 
+std::int64_t min_deadlock_free_total(const dataflow::VrdfGraph& graph) {
+  std::int64_t total = 0;
+  for (const std::int64_t minimum : min_deadlock_free_capacities(graph)) {
+    total = checked_add(total, minimum);
+  }
+  return total;
+}
+
 std::vector<std::int64_t> min_deadlock_free_chain_capacities(
     const dataflow::VrdfGraph& graph) {
   const dataflow::ValidationReport validation =

@@ -1,22 +1,51 @@
 // Pacing propagation over the buffer graph (Sec 4.3 / 4.4, generalised
-// from chains to fork-join DAGs and to cyclic graphs whose back-edges
-// carry initial tokens).
+// from chains to fork-join DAGs, to cyclic graphs whose back-edges carry
+// initial tokens, and to *sets* of simultaneous throughput constraints).
 //
-// The throughput constraint fixes the pacing of one end of the graph:
-// φ(constrained actor) = τ.  Pacing then propagates per buffer edge:
+// A throughput constraint fixes the pacing of one end of the graph:
+// φ(constrained actor) = τ.  Pacing then propagates per buffer edge, in
+// the direction of the edge's rate-determining side:
 //
-//  * Sink-constrained (Sec 4.3): on every buffer the data-consuming task
-//    determines the rate; the producer must be able to match the maximum
-//    consumption rate even when producing its minimum quantum, so edge
-//    e_xy demands φ(v_x) ≤ (φ(v_y)/γ̂(e_xy)) · π̌(e_xy).  Propagation
-//    walks the reverse topological order of the data DAG; an actor with
-//    several output buffers must sustain the fastest demand, so its φ is
-//    the *minimum* over its out-edges' demands (on a chain there is one
+//  * Sink-determined (Sec 4.3): the data-consuming task determines the
+//    rate; the producer must be able to match the maximum consumption
+//    rate even when producing its minimum quantum, so edge e_xy demands
+//    φ(v_x) ≤ (φ(v_y)/γ̂(e_xy)) · π̌(e_xy).  Propagation walks the
+//    reverse topological order of the data DAG; an actor with several
+//    such out-edges must sustain the fastest demand, so its φ is the
+//    *minimum* over its out-edges' demands (on a chain there is one
 //    out-edge and this is exactly the paper's recurrence).
-//  * Source-constrained (Sec 4.4): mirrored — consumption is minimised and
+//  * Source-determined (Sec 4.4): mirrored — consumption is minimised and
 //    production maximised: e_xy demands φ(v_y) ≤ (φ(v_x)/π̂(e_xy)) ·
 //    γ̌(e_xy), moving downstream in topological order, minimum over
 //    in-edges.
+//
+// With a single constraint every edge inherits the constraint's side (the
+// pre-PR-4 behaviour, reproduced bit for bit).  With a constraint *set*
+// the side is assigned per edge: every constrained actor must be a data
+// source or data sink of the skeleton; an edge whose consumer lies on a
+// path into a sink-kind constrained actor is sink-determined, every other
+// edge whose producer is reachable from a source-kind constrained actor
+// is source-determined, and an edge paced by neither is rejected (no
+// demand would relate its endpoints' rates).  Seeds propagate
+// bidirectionally over the skeleton topological order — upstream through
+// the sink-anchored region, downstream through the rest — taking the
+// per-actor minimum over all demands, which flow consistency (below)
+// collapses to the unique common value: a demand that differs is
+// rejected, never silently minimised over.
+//
+// Flow consistency: because every actor runs ONE schedule, two demands
+// that disagree at any actor describe realized flows that cannot balance:
+// the branch toward the slower constraint receives tokens at a strictly
+// higher rate than that constraint can ever drain (the demand already
+// uses the producer's *minimum* and the consumer's *maximum* quanta), so
+// some buffer on it fills at any finite capacity, back-pressure stalls
+// the shared actor, and the faster constraint starves.  Disagreeing
+// demands are therefore rejected with a diagnostic naming the binding
+// constraint and the path it propagated along; in particular a
+// constrained actor whose seeded period exceeds the φ another constraint
+// propagates onto it (too slow — the other constraint starves), or
+// undercuts it (too fast — tokens pile up until the actor itself blocks
+// and misses its own deadline).
 //
 // φ(v) is simultaneously the minimal required difference between
 // subsequent starts of v and the maximal admissible worst-case response
@@ -39,13 +68,19 @@
 
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
+#include "util/error.hpp"
 
 namespace vrdf::analysis {
 
 struct PacingResult {
   bool ok = false;
   std::vector<std::string> diagnostics;
+  /// Side of the primary (first) constraint — kept for single-constraint
+  /// call sites; per-buffer sides live in `determined_by`.
   ConstraintSide side = ConstraintSide::Sink;
+  /// The constraint set the propagation ran with (size 1 for the
+  /// single-constraint entry point).
+  ConstraintSet constraints;
   /// True when the data edges form a chain (Sec 3.1 shape).
   bool is_chain = false;
   /// True when the data edges contain directed cycles (broken at tokened
@@ -62,21 +97,44 @@ struct PacingResult {
   /// Buffers ordered by the producer's topological position (chain order
   /// on chains: buffers[i] connects actors[i] → actors[i+1]).
   std::vector<dataflow::BufferEdges> buffers_in_order;
+  /// Per position in buffers_in_order: the pair's rate-determining side.
+  std::vector<ConstraintSide> determined_by;
+  /// Per actor index: true when the actor lies on a skeleton path into a
+  /// sink-kind constrained actor — the region whose propagations (pacing
+  /// and schedule alignment) run in reverse topological order; the rest
+  /// of the graph propagates forward from source-kind constraints.
+  std::vector<bool> sink_anchored;
+  /// Per actor index: index into `constraints` when the actor is
+  /// constrained, npos otherwise.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> constraint_of_actor;
+  /// Per constraint index: true when the constrained actor is a data sink
+  /// of the skeleton (sink-kind), false for a data source (source-kind).
+  std::vector<bool> constraint_is_sink_kind;
   /// φ per position in actors_in_order.
   std::vector<Duration> pacing;
   /// φ indexed by ActorId::index() — the per-edge lookup the capacity
   /// computation uses.
   std::vector<Duration> pacing_by_actor;
 
+  /// φ(actor).  Fails loudly (ContractError) on an out-of-range id or an
+  /// actor the propagation never paced, instead of silently reading a
+  /// default-constructed zero Duration.
   [[nodiscard]] const Duration& pacing_of(dataflow::ActorId actor) const {
-    return pacing_by_actor[actor.index()];
+    VRDF_REQUIRE(actor.index() < pacing_by_actor.size(),
+                 "pacing_of: actor id out of range for this graph");
+    const Duration& phi = pacing_by_actor[actor.index()];
+    VRDF_REQUIRE(phi.is_positive(),
+                 "pacing_of: actor was never paced by the propagation");
+    return phi;
   }
 };
 
-/// Validates that the graph is a consistent acyclic buffer network, that
-/// the constrained actor is its unique data sink (sink mode) or unique
-/// data source (source mode), and propagates pacing.  Produces diagnostics
-/// instead of throwing for model-level infeasibility:
+/// Validates that the graph is a consistent buffer network whose cycles
+/// break at tokened back-edges, that the constrained actor is its unique
+/// data sink (sink mode) or unique data source (source mode), and
+/// propagates pacing.  Produces diagnostics instead of throwing for
+/// model-level infeasibility:
 ///  * a zero minimum quantum on the rate-determining side (would require
 ///    an infinite rate);
 ///  * data-dependent rate sets on a reconvergent fork-join edge — the
@@ -92,5 +150,29 @@ struct PacingResult {
 ///    starves or its buffer fills regardless of capacity.
 [[nodiscard]] PacingResult compute_pacing(const dataflow::VrdfGraph& graph,
                                           const ThroughputConstraint& constraint);
+
+/// Constraint-set overload: every constrained actor must be a data source
+/// or data sink of the skeleton, every actor must be paced by at least one
+/// constraint, and all demands must agree per actor (flow consistency —
+/// see the header comment).  With exactly one constraint this is
+/// bit-for-bit the single-constraint analysis, including its uniqueness
+/// requirement and diagnostics.
+[[nodiscard]] PacingResult compute_pacing(const dataflow::VrdfGraph& graph,
+                                          const ConstraintSet& constraints);
+
+/// Pacing restricted to the actors a constraint subset reaches, used by
+/// the multi-constraint min-period solver: actors outside the subset's
+/// demand cone keep no pacing instead of failing the propagation, and no
+/// end-uniqueness / full-coverage checks are applied.  Conflicting
+/// demands, zero rate-determining quanta and seed violations still
+/// reject.
+struct PartialPacing {
+  bool ok = false;
+  std::vector<std::string> diagnostics;
+  /// φ by ActorId::index(); unset for actors the subset does not pace.
+  std::vector<std::optional<Duration>> phi_by_actor;
+};
+[[nodiscard]] PartialPacing compute_partial_pacing(
+    const dataflow::VrdfGraph& graph, const ConstraintSet& constraints);
 
 }  // namespace vrdf::analysis

@@ -298,4 +298,113 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
   return result;
 }
 
+MinPeriodResult min_admissible_period(const VrdfGraph& graph,
+                                      const ConstraintSet& constraints,
+                                      dataflow::ActorId designated,
+                                      const AnalysisOptions& options) {
+  MinPeriodResult result;
+  ConstraintSet others;
+  bool found = false;
+  for (const ThroughputConstraint& c : constraints) {
+    if (c.actor == designated) {
+      found = true;
+    } else {
+      others.push_back(c);
+    }
+  }
+  if (!found) {
+    result.diagnostics.push_back(
+        "designated actor carries no constraint in the set");
+    return result;
+  }
+  if (others.empty()) {
+    return min_admissible_period(graph, designated, options);
+  }
+
+  // The designated constraint's demand cone with a unit period gives the
+  // rate-only coefficients c_v; the fixed constraints' cone gives the φ
+  // values they pin.  Flow consistency forces c_v·τ = φ_fixed(v) on every
+  // overlap actor, so the overlap determines τ — and must determine it
+  // consistently.
+  const PartialPacing unit = compute_partial_pacing(
+      graph, ConstraintSet{{designated, seconds(Rational(1))}});
+  if (!unit.ok) {
+    result.diagnostics = unit.diagnostics;
+    return result;
+  }
+  const PartialPacing fixed = compute_partial_pacing(graph, others);
+  if (!fixed.ok) {
+    result.diagnostics = fixed.diagnostics;
+    return result;
+  }
+  std::optional<Rational> tau;
+  dataflow::ActorId pin_actor;
+  for (std::size_t i = 0; i < unit.phi_by_actor.size(); ++i) {
+    if (!unit.phi_by_actor[i].has_value() ||
+        !fixed.phi_by_actor[i].has_value()) {
+      continue;
+    }
+    const Rational candidate =
+        fixed.phi_by_actor[i]->seconds() / unit.phi_by_actor[i]->seconds();
+    if (!tau.has_value()) {
+      tau = candidate;
+      pin_actor = dataflow::ActorId(
+          static_cast<dataflow::ActorId::underlying_type>(i));
+    } else if (candidate != *tau) {
+      std::ostringstream os;
+      os << "the fixed constraints pin incompatible periods for '"
+         << graph.actor(designated).name << "' (" << tau->to_string()
+         << " s at actor '" << graph.actor(pin_actor).name << "' vs "
+         << candidate.to_string() << " s at actor '"
+         << graph
+                .actor(dataflow::ActorId(
+                    static_cast<dataflow::ActorId::underlying_type>(i)))
+                .name
+         << "'); the constraint set is not flow-consistent at any period";
+      result.diagnostics.push_back(os.str());
+      return result;
+    }
+  }
+  if (!tau.has_value()) {
+    result.diagnostics.push_back(
+        "the designated constraint shares no pacing with the fixed ones; "
+        "no flow coupling determines its period (analyse it with the "
+        "single-constraint solver instead)");
+    return result;
+  }
+
+  // Forward verification: the coupled period must be admissible for the
+  // full set and fit the installed capacities.
+  ConstraintSet full = others;
+  full.push_back(ThroughputConstraint{designated, Duration(*tau)});
+  const GraphAnalysis forward =
+      compute_buffer_capacities(graph, full, options);
+  if (!forward.admissible) {
+    result.diagnostics = forward.diagnostics;
+    result.diagnostics.push_back(
+        "the flow-coupled period " + tau->to_string() +
+        " s is not admissible for the full constraint set");
+    return result;
+  }
+  for (const PairAnalysis& pair : forward.pairs) {
+    if (pair.capacity > graph.buffer_capacity(pair.buffer)) {
+      std::ostringstream os;
+      os << "buffer " << graph.actor(pair.producer).name << "->"
+         << graph.actor(pair.consumer).name << ": installed capacity "
+         << graph.buffer_capacity(pair.buffer) << " cannot sustain the "
+         << "flow-coupled period " << tau->to_string() << " s (needs "
+         << pair.capacity << " containers)";
+      result.diagnostics.push_back(os.str());
+      return result;
+    }
+  }
+  result.ok = true;
+  result.min_period = Duration(*tau);
+  result.infimum_period = Duration(*tau);
+  result.infimum_attained = true;
+  result.binding_constraint =
+      "flow-coupling at actor '" + graph.actor(pin_actor).name + "'";
+  return result;
+}
+
 }  // namespace vrdf::analysis

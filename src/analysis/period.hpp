@@ -65,4 +65,20 @@ struct MinPeriodResult {
     const dataflow::VrdfGraph& graph, dataflow::ActorId actor,
     const AnalysisOptions& options = {});
 
+/// Multi-constraint variant: scales the period of the constraint on
+/// `designated` while every other constraint in the set is held fixed.
+/// Because constraint sets must be flow-consistent (demands have to agree
+/// at every shared actor, see analysis/pacing.hpp), a designated
+/// constraint that shares pacing with a fixed one has exactly one
+/// admissible period — the flow-coupled value; the function derives it
+/// from the overlap of the two demand cones, forward-verifies it against
+/// the installed capacities, and reports infeasibility (with diagnostics)
+/// when the coupled value violates a response time, a capacity, or a
+/// cycle bound.  `designated` must carry a constraint in `constraints`
+/// (its period in the set is ignored); with no other constraints this is
+/// exactly the single-constraint solver.
+[[nodiscard]] MinPeriodResult min_admissible_period(
+    const dataflow::VrdfGraph& graph, const ConstraintSet& constraints,
+    dataflow::ActorId designated, const AnalysisOptions& options = {});
+
 }  // namespace vrdf::analysis

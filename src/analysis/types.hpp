@@ -11,16 +11,31 @@
 namespace vrdf::analysis {
 
 /// "Actor `actor` must execute strictly periodically with period `period`."
-/// The paper requires the constrained task to sit at an end of the chain;
-/// the generalised analysis requires it to be the unique data sink (no
-/// output buffers, Sec 4.2/4.3) or the unique data source (no input
-/// buffers, Sec 4.4) of the fork-join graph.
+/// The paper requires the constrained task to sit at an end of the chain.
+/// With a single constraint the generalised analysis requires it to be the
+/// unique data sink (no output buffers, Sec 4.2/4.3) or the unique data
+/// source (no input buffers, Sec 4.4) of the graph; a *set* of constraints
+/// may pin several ends at once (every constrained actor must still be a
+/// data source or data sink of the skeleton), with demands propagated
+/// bidirectionally and checked for flow consistency.
 struct ThroughputConstraint {
   dataflow::ActorId actor;
   Duration period;
 };
 
-/// Which end of the graph carries the throughput constraint.
+/// Several simultaneous throughput constraints — e.g. an A/V graph with an
+/// audio presenter and a video presenter, or a feedback pipeline pinning
+/// both its source and its sink.  Periods must be mutually flow-consistent
+/// (the propagation rejects sets whose demands disagree anywhere, naming
+/// the binding constraint and path).
+using ConstraintSet = std::vector<ThroughputConstraint>;
+
+/// Which endpoint of a producer-consumer pair determines its rate.  With a
+/// single constraint this is global (every pair inherits the constraint's
+/// end); with a constraint set it is assigned per pair: pairs on a path
+/// into a sink-kind constrained actor pace upstream (Sink — the consumer
+/// determines), pairs hanging off a source-kind constrained actor pace
+/// downstream (Source — the producer determines).
 enum class ConstraintSide {
   Sink,    // Sec 4.2/4.3: rates propagate upstream against the data flow
   Source,  // Sec 4.4: rates propagate downstream with the data flow
@@ -81,6 +96,12 @@ struct PairAnalysis {
   Rational raw_tokens;
   /// Computed total capacity ζ(b) = initial_tokens + rounded slack.
   std::int64_t capacity = 0;
+  /// Which endpoint of this pair is rate-determining: Sink — the consumer
+  /// (pacing_basis = φ(consumer), demands flow upstream); Source — the
+  /// producer.  With a single constraint every pair carries the
+  /// constraint's global side; with a constraint set the side is assigned
+  /// per pair (see compute_pacing).
+  ConstraintSide determined_by = ConstraintSide::Sink;
   /// True when all rate sets of the pair are singletons (data-independent).
   bool is_static = false;
   /// True when the buffer's data edge is a back-edge of a cyclic topology
@@ -107,7 +128,13 @@ struct GraphAnalysis {
   bool admissible = false;
   std::vector<std::string> diagnostics;
 
+  /// Rate-determining side of the *primary* (first) constraint; kept for
+  /// single-constraint call sites.  Per-pair sides live in
+  /// PairAnalysis::determined_by.
   ConstraintSide side = ConstraintSide::Sink;
+  /// The constraint set the analysis ran with (size 1 for the
+  /// single-constraint entry point).
+  ConstraintSet constraints;
   /// True when the data edges form a chain (the paper's Sec 3.1 shape);
   /// actors_in_order is then exactly the chain order.
   bool is_chain = false;

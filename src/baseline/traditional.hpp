@@ -46,10 +46,14 @@ struct TraditionalResult {
   std::int64_t total_capacity = 0;
 };
 
-/// Applies the classical bound per buffer of an acyclic graph (chain or
-/// fork-join), fixing every rate set to its maximum (the paper's
-/// lower-bound construction for the MP3 case study).  Pairs are ordered
-/// like GraphAnalysis::pairs (chain order on chains).
+/// Applies the classical bound per buffer of a graph (chain, fork-join,
+/// or cyclic with tokened back-edges), fixing every rate set to its
+/// maximum (the paper's lower-bound construction for the MP3 case
+/// study).  Pairs are ordered like GraphAnalysis::pairs (chain order on
+/// chains).  The bound is per-buffer and throughput-constraint-free, so
+/// it applies unchanged as the comparison baseline for graphs sized
+/// under a multi-constraint set — it has no notion of the per-pair
+/// rate-determining side and simply under-approximates every buffer.
 [[nodiscard]] TraditionalResult traditional_capacities(
     const dataflow::VrdfGraph& graph);
 

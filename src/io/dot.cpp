@@ -21,10 +21,11 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-/// Shared emitter for both VrdfGraph overloads; the annotation inputs are
-/// null for the plain rendering.
+/// Shared emitter for every VrdfGraph overload; the annotation inputs are
+/// empty/null for the plain rendering.  Every constrained actor renders
+/// double-bordered with its own period.
 std::string render_vrdf_dot(const dataflow::VrdfGraph& graph,
-                            const analysis::ThroughputConstraint* constraint,
+                            const analysis::ConstraintSet& constraints,
                             const analysis::GraphAnalysis* analysis) {
   std::unordered_map<dataflow::EdgeId, std::int64_t> capacity_of_space;
   if (analysis != nullptr) {
@@ -50,8 +51,15 @@ std::string render_vrdf_dot(const dataflow::VrdfGraph& graph,
     const dataflow::Actor& actor = graph.actor(a);
     os << "  n" << a.value() << " [label=\"" << escape(actor.name)
        << "\\nrho=" << actor.response_time.seconds().to_string() << " s";
-    if (constraint != nullptr && a == constraint->actor) {
-      os << "\\ntau=" << constraint->period.seconds().to_string()
+    const analysis::ThroughputConstraint* pinned = nullptr;
+    for (const analysis::ThroughputConstraint& c : constraints) {
+      if (c.actor == a) {
+        pinned = &c;
+        break;
+      }
+    }
+    if (pinned != nullptr) {
+      os << "\\ntau=" << pinned->period.seconds().to_string()
          << " s\" peripheries=2];\n";
     } else {
       os << "\"];\n";
@@ -99,15 +107,21 @@ std::string render_vrdf_dot(const dataflow::VrdfGraph& graph,
 }  // namespace
 
 std::string to_dot(const dataflow::VrdfGraph& graph) {
-  return render_vrdf_dot(graph, nullptr, nullptr);
+  return render_vrdf_dot(graph, {}, nullptr);
 }
 
 std::string to_dot(const dataflow::VrdfGraph& graph,
                    const analysis::ThroughputConstraint& constraint,
                    const analysis::GraphAnalysis& analysis) {
+  return to_dot(graph, analysis::ConstraintSet{constraint}, analysis);
+}
+
+std::string to_dot(const dataflow::VrdfGraph& graph,
+                   const analysis::ConstraintSet& constraints,
+                   const analysis::GraphAnalysis& analysis) {
   VRDF_REQUIRE(analysis.admissible,
                "cannot render an inadmissible analysis");
-  return render_vrdf_dot(graph, &constraint, &analysis);
+  return render_vrdf_dot(graph, constraints, &analysis);
 }
 
 std::string to_dot(const taskgraph::TaskGraph& graph) {

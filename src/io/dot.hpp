@@ -23,6 +23,12 @@ namespace vrdf::io {
                                  const analysis::ThroughputConstraint& constraint,
                                  const analysis::GraphAnalysis& analysis);
 
+/// Constraint-set variant: every constrained actor of the set is
+/// double-bordered with its own period.
+[[nodiscard]] std::string to_dot(const dataflow::VrdfGraph& graph,
+                                 const analysis::ConstraintSet& constraints,
+                                 const analysis::GraphAnalysis& analysis);
+
 /// DOT digraph: tasks as boxes (name, κ), buffers as edges labelled
 /// "ξ / λ [ζ]".
 [[nodiscard]] std::string to_dot(const taskgraph::TaskGraph& graph);

@@ -9,27 +9,48 @@
 
 namespace vrdf::io {
 
-std::string analysis_report(const dataflow::VrdfGraph& graph,
-                            const analysis::ThroughputConstraint& constraint,
-                            const analysis::GraphAnalysis& analysis) {
+namespace {
+
+std::string render_report(const dataflow::VrdfGraph& graph,
+                          const analysis::ConstraintSet& constraints,
+                          const analysis::GraphAnalysis& analysis) {
   VRDF_REQUIRE(analysis.admissible, "cannot report an inadmissible analysis");
+  VRDF_REQUIRE(!constraints.empty(), "report needs at least one constraint");
+  const bool multi = constraints.size() > 1;
   std::ostringstream os;
 
   std::size_t feedback_count = 0;
   for (const analysis::PairAnalysis& pair : analysis.pairs) {
     feedback_count += pair.is_feedback ? 1 : 0;
   }
+  const char* const shape_word =
+      analysis.is_chain ? "chain"
+                        : (analysis.is_cyclic ? "cyclic graph"
+                                              : "fork-join graph");
   os << "# Buffer-capacity analysis report\n\n";
-  os << "Throughput constraint: actor `"
-     << graph.actor(constraint.actor).name << "` strictly periodic, period "
-     << constraint.period.seconds().to_string() << " s ("
-     << constraint.period.seconds().reciprocal().to_double() << " Hz), "
-     << (analysis.side == analysis::ConstraintSide::Sink ? "sink" : "source")
-     << "-constrained "
-     << (analysis.is_chain
-             ? "chain"
-             : (analysis.is_cyclic ? "cyclic graph" : "fork-join graph"))
-     << " of " << analysis.actors_in_order.size() << " tasks";
+  if (!multi) {
+    const analysis::ThroughputConstraint& constraint = constraints.front();
+    os << "Throughput constraint: actor `"
+       << graph.actor(constraint.actor).name << "` strictly periodic, period "
+       << constraint.period.seconds().to_string() << " s ("
+       << constraint.period.seconds().reciprocal().to_double() << " Hz), "
+       << (analysis.side == analysis::ConstraintSide::Sink ? "sink" : "source")
+       << "-constrained " << shape_word << " of "
+       << analysis.actors_in_order.size() << " tasks";
+  } else {
+    os << "Throughput constraints (" << constraints.size() << "): ";
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      if (c != 0) {
+        os << "; ";
+      }
+      os << "actor `" << graph.actor(constraints[c].actor).name
+         << "` strictly periodic, period "
+         << constraints[c].period.seconds().to_string() << " s ("
+         << constraints[c].period.seconds().reciprocal().to_double() << " Hz)";
+    }
+    os << " — multi-constrained " << shape_word << " of "
+       << analysis.actors_in_order.size() << " tasks";
+  }
   if (analysis.is_cyclic) {
     os << " (" << feedback_count << " feedback back-edge"
        << (feedback_count == 1 ? "" : "s")
@@ -61,6 +82,9 @@ std::string analysis_report(const dataflow::VrdfGraph& graph,
     if (pair.is_feedback) {
       name += " (feedback, delta=" + std::to_string(pair.initial_tokens) + ")";
     }
+    if (multi && pair.determined_by == analysis::ConstraintSide::Source) {
+      name += " (producer-paced)";
+    }
     caps.add_row(
         {std::move(name),
          data.production.to_string() + " / " + data.consumption.to_string(),
@@ -75,19 +99,42 @@ std::string analysis_report(const dataflow::VrdfGraph& graph,
   if (mismatch) {
     os << " — WARNING: installed capacities differ from the analysis";
   }
-  os << ".\n\n";
+  os << ".\n";
+  os << "Deadlock-free floor: " << analysis::min_deadlock_free_total(graph)
+     << " containers.\n\n";
 
   const analysis::MinPeriodResult headroom =
-      analysis::min_admissible_period(graph, constraint.actor);
+      multi ? analysis::min_admissible_period(graph, constraints,
+                                              constraints.front().actor)
+            : analysis::min_admissible_period(graph, constraints.front().actor);
   if (headroom.ok) {
     os << "## Rate headroom\n\n"
-       << "Fastest admissible period with the installed capacities: "
+       << "Fastest admissible period ";
+    if (multi) {
+      os << "of `" << graph.actor(constraints.front().actor).name
+         << "` (other constraints held fixed) ";
+    }
+    os << "with the installed capacities: "
        << headroom.min_period.seconds().to_string() << " s (binding: "
        << headroom.binding_constraint << "; exact feasibility infimum "
        << headroom.infimum_period.seconds().to_string() << " s, "
        << (headroom.infimum_attained ? "attained" : "open") << ").\n";
   }
   return os.str();
+}
+
+}  // namespace
+
+std::string analysis_report(const dataflow::VrdfGraph& graph,
+                            const analysis::ThroughputConstraint& constraint,
+                            const analysis::GraphAnalysis& analysis) {
+  return render_report(graph, analysis::ConstraintSet{constraint}, analysis);
+}
+
+std::string analysis_report(const dataflow::VrdfGraph& graph,
+                            const analysis::ConstraintSet& constraints,
+                            const analysis::GraphAnalysis& analysis) {
+  return render_report(graph, constraints, analysis);
 }
 
 }  // namespace vrdf::io

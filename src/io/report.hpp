@@ -21,4 +21,12 @@ namespace vrdf::io {
     const analysis::ThroughputConstraint& constraint,
     const analysis::GraphAnalysis& analysis);
 
+/// Constraint-set overload: the header lists every constraint, the buffer
+/// table marks producer-paced pairs, and the rate-headroom section scales
+/// the first constraint with the others held fixed.
+[[nodiscard]] std::string analysis_report(
+    const dataflow::VrdfGraph& graph,
+    const analysis::ConstraintSet& constraints,
+    const analysis::GraphAnalysis& analysis);
+
 }  // namespace vrdf::io

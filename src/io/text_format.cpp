@@ -15,14 +15,40 @@ using dataflow::RateSet;
   throw ModelError("line " + std::to_string(line_no) + ": " + message);
 }
 
-std::vector<std::string> split_ws(const std::string& line) {
-  std::vector<std::string> out;
-  std::istringstream is(line);
-  std::string token;
-  while (is >> token) {
-    out.push_back(token);
+/// Checked std::stoll: rejects non-numeric text, trailing garbage
+/// ("12abc") and values outside int64 with a line-numbered diagnostic
+/// instead of letting std::invalid_argument / std::out_of_range escape
+/// (or silently truncating the garbage suffix).
+std::int64_t parse_int64(const std::string& text, std::size_t line_no,
+                         const char* what) {
+  std::size_t consumed = 0;
+  try {
+    const std::int64_t value = std::stoll(text, &consumed);
+    if (consumed != text.size()) {
+      parse_error(line_no, std::string("malformed ") + what + " '" + text +
+                               "' (trailing characters)");
+    }
+    return value;
+  } catch (const std::invalid_argument&) {
+    parse_error(line_no, std::string("malformed ") + what + " '" + text + "'");
+  } catch (const std::out_of_range&) {
+    parse_error(line_no,
+                std::string(what) + " '" + text + "' is out of range");
   }
-  return out;
+}
+
+/// Checked Rational::from_string: converts its ContractError /
+/// OverflowError into a line-numbered parse diagnostic.
+Rational parse_rational(const std::string& text, std::size_t line_no,
+                        const char* what) {
+  try {
+    return Rational::from_string(text);
+  } catch (const OverflowError&) {
+    parse_error(line_no,
+                std::string(what) + " '" + text + "' is out of range");
+  } catch (const Error&) {
+    parse_error(line_no, std::string("malformed ") + what + " '" + text + "'");
+  }
 }
 
 std::string rate_set_to_text(const RateSet& set) { return set.to_string(); }
@@ -38,11 +64,7 @@ RateSet parse_rate_set(const std::string& text, std::size_t line_no) {
   std::istringstream is(body);
   std::string item;
   while (std::getline(is, item, ',')) {
-    try {
-      values.push_back(std::stoll(item));
-    } catch (const std::exception&) {
-      parse_error(line_no, "malformed rate value '" + item + "'");
-    }
+    values.push_back(parse_int64(item, line_no, "rate value"));
   }
   if (open == '{' && close == '}') {
     if (values.empty()) {
@@ -57,6 +79,16 @@ RateSet parse_rate_set(const std::string& text, std::size_t line_no) {
     return RateSet::interval(values[0], values[1]);
   }
   parse_error(line_no, "rate sets are '{...}' or '[lo,hi]'");
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    out.push_back(token);
+  }
+  return out;
 }
 
 /// "key=value" accessor; returns empty when the token has another key.
@@ -74,6 +106,15 @@ std::optional<std::string> key_value(const std::string& token,
 std::string write_chain(
     const dataflow::VrdfGraph& graph,
     const std::optional<analysis::ThroughputConstraint>& constraint) {
+  analysis::ConstraintSet constraints;
+  if (constraint.has_value()) {
+    constraints.push_back(*constraint);
+  }
+  return write_chain(graph, constraints);
+}
+
+std::string write_chain(const dataflow::VrdfGraph& graph,
+                        const analysis::ConstraintSet& constraints) {
   for (const dataflow::EdgeId e : graph.edges()) {
     VRDF_REQUIRE(graph.edge(e).paired.is_valid(),
                  "write_chain only serializes buffer-paired graphs");
@@ -103,9 +144,9 @@ std::string write_chain(
     }
     os << '\n';
   }
-  if (constraint.has_value()) {
-    os << "constraint " << graph.actor(constraint->actor).name
-       << " period=" << constraint->period.seconds().to_string() << '\n';
+  for (const analysis::ThroughputConstraint& c : constraints) {
+    os << "constraint " << graph.actor(c.actor).name
+       << " period=" << c.period.seconds().to_string() << '\n';
   }
   return os.str();
 }
@@ -142,7 +183,7 @@ ChainDocument read_chain(const std::string& text) {
         parse_error(line_no, "missing rho=");
       }
       (void)doc.graph.add_actor(tokens[1],
-                                Duration(Rational::from_string(*rho)));
+                                Duration(parse_rational(*rho, line_no, "rho")));
     } else if (tokens[0] == "buffer") {
       if (tokens.size() < 6 || tokens[2] != "->") {
         parse_error(line_no,
@@ -164,17 +205,9 @@ ChainDocument read_chain(const std::string& text) {
         } else if (const auto g = key_value(tokens[i], "gamma")) {
           gamma = parse_rate_set(*g, line_no);
         } else if (const auto c = key_value(tokens[i], "capacity")) {
-          try {
-            capacity = std::stoll(*c);
-          } catch (const std::exception&) {
-            parse_error(line_no, "malformed capacity '" + *c + "'");
-          }
+          capacity = parse_int64(*c, line_no, "capacity");
         } else if (const auto d = key_value(tokens[i], "delta")) {
-          try {
-            delta = std::stoll(*d);
-          } catch (const std::exception&) {
-            parse_error(line_no, "malformed delta '" + *d + "'");
-          }
+          delta = parse_int64(*d, line_no, "delta");
         } else {
           parse_error(line_no, "unknown attribute '" + tokens[i] + "'");
         }
@@ -195,12 +228,21 @@ ChainDocument read_chain(const std::string& text) {
       if (!actor.has_value()) {
         parse_error(line_no, "constraint references an unknown actor");
       }
+      for (const analysis::ThroughputConstraint& existing : doc.constraints) {
+        if (existing.actor == *actor) {
+          parse_error(line_no,
+                      "duplicate constraint for actor '" + tokens[1] + "'");
+        }
+      }
       const auto period = key_value(tokens[2], "period");
       if (!period.has_value()) {
         parse_error(line_no, "missing period=");
       }
-      doc.constraint = analysis::ThroughputConstraint{
-          *actor, Duration(Rational::from_string(*period))};
+      doc.constraints.push_back(analysis::ThroughputConstraint{
+          *actor, Duration(parse_rational(*period, line_no, "period"))});
+      if (!doc.constraint.has_value()) {
+        doc.constraint = doc.constraints.front();
+      }
     } else {
       parse_error(line_no, "unknown directive '" + tokens[0] + "'");
     }

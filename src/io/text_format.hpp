@@ -14,11 +14,16 @@
 // Rate sets are "{a,b,c}" or "[lo,hi]"; rationals are "p", "p/q" or simple
 // decimals ("51.2").  capacity= is the buffer's *total* container count;
 // delta= is the data edge's initial tokens (the back-edges of cyclic
-// models), occupying delta of the capacity containers at t=0.
+// models), occupying delta of the capacity containers at t=0.  Several
+// `constraint` lines declare a simultaneous constraint set (one line per
+// constrained actor; repeating an actor is an error).  All integers and
+// rationals are parsed through checked helpers: malformed or overflowing
+// values produce a ModelError naming the line instead of aborting.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
@@ -27,7 +32,11 @@ namespace vrdf::io {
 
 struct ChainDocument {
   dataflow::VrdfGraph graph;
+  /// The first declared constraint (kept for single-constraint call
+  /// sites); unset when the document declares none.
   std::optional<analysis::ThroughputConstraint> constraint;
+  /// Every declared constraint, in document order.
+  analysis::ConstraintSet constraints;
 };
 
 /// Serializes a chain model (buffers only; bare edges are rejected).
@@ -35,8 +44,14 @@ struct ChainDocument {
     const dataflow::VrdfGraph& graph,
     const std::optional<analysis::ThroughputConstraint>& constraint);
 
+/// Constraint-set overload: one `constraint` line per entry.
+[[nodiscard]] std::string write_chain(
+    const dataflow::VrdfGraph& graph,
+    const analysis::ConstraintSet& constraints);
+
 /// Parses the format above; throws ModelError with a line number on
-/// malformed input.
+/// malformed input (unknown directives/attributes, bad or overflowing
+/// numbers, duplicate constraint actors).
 [[nodiscard]] ChainDocument read_chain(const std::string& text);
 
 }  // namespace vrdf::io

@@ -17,10 +17,17 @@ using dataflow::VrdfGraph;
 std::optional<VrdfGraph> with_scaled_response_times(
     const VrdfGraph& graph, const ThroughputConstraint& constraint,
     Rational fraction) {
+  return with_scaled_response_times(graph, analysis::ConstraintSet{constraint},
+                                    fraction);
+}
+
+std::optional<VrdfGraph> with_scaled_response_times(
+    const VrdfGraph& graph, const analysis::ConstraintSet& constraints,
+    Rational fraction) {
   VRDF_REQUIRE(fraction.is_positive() && fraction <= Rational(1),
                "response fraction must be in (0, 1]");
   const analysis::PacingResult pacing =
-      analysis::compute_pacing(graph, constraint);
+      analysis::compute_pacing(graph, constraints);
   if (!pacing.ok) {
     return std::nullopt;
   }
@@ -399,6 +406,141 @@ AvSyncPipeline make_av_sync_pipeline() {
   VRDF_REQUIRE(scaled.has_value(), "A/V pipeline must be admissible");
   model.graph = std::move(*scaled);
   return model;
+}
+
+AvDualSinkPipeline make_av_dual_sink_pipeline() {
+  VrdfGraph bare;
+  const Duration dummy = seconds(Rational(1));
+  AvDualSinkPipeline model;
+  model.src = bare.add_actor("src", dummy);
+  model.demux = bare.add_actor("demux", dummy);
+  model.adec = bare.add_actor("adec", dummy);
+  model.vdec = bare.add_actor("vdec", dummy);
+  model.apresent = bare.add_actor("apresent", dummy);
+  model.vpresent = bare.add_actor("vpresent", dummy);
+
+  // Gears src 4, demux 2, adec 3, vdec 8, apresent 3, vpresent 8; λ = 5 ms
+  // gives φ(src) 20 ms, φ(demux) 10 ms, φ(adec) = τ(apresent) = 15 ms and
+  // φ(vdec) = τ(vpresent) = 40 ms.  Per 10 ms the demultiplexer emits
+  // 2 audio units (adec decodes 3 per 15 ms — same 200/s rate) and
+  // 2 video units (vdec decodes 8 per 40 ms — 200/s again), so both
+  // presenter constraints demand exactly φ(demux) = 10 ms of the shared
+  // demultiplexer: flow-consistent with two different periods.  The
+  // branch edges carry static rates — a presenter whose realized drain
+  // could undercut its worst case (e.g. a 0-quantum "drop") would let one
+  // branch fill, block the shared demultiplexer and starve the *other*
+  // presenter, which is exactly what the analysis' constraint-coupling
+  // rule rejects; a dropped frame is modelled as consumed-and-discarded.
+  // The data-dependent variability lives on the shared chain segment:
+  // the demultiplexer consumes 0-2 stream sectors per firing (none while
+  // seeking) without affecting its static production.
+  model.src_demux = bare.add_buffer(model.src, model.demux,
+                                    RateSet::singleton(4), RateSet::of({0, 1, 2}));
+  model.demux_adec = bare.add_buffer(model.demux, model.adec,
+                                     RateSet::singleton(2), RateSet::singleton(3));
+  model.demux_vdec = bare.add_buffer(model.demux, model.vdec,
+                                     RateSet::singleton(2), RateSet::singleton(8));
+  model.adec_apresent = bare.add_buffer(model.adec, model.apresent,
+                                        RateSet::singleton(3), RateSet::singleton(3));
+  model.vdec_vpresent = bare.add_buffer(model.vdec, model.vpresent,
+                                        RateSet::singleton(8), RateSet::singleton(8));
+
+  model.constraints = {
+      ThroughputConstraint{model.apresent, milliseconds(Rational(15))},
+      ThroughputConstraint{model.vpresent, milliseconds(Rational(40))}};
+  auto scaled = with_scaled_response_times(bare, model.constraints, Rational(1));
+  VRDF_REQUIRE(scaled.has_value(), "dual-sink A/V pipeline must be admissible");
+  model.graph = std::move(*scaled);
+  return model;
+}
+
+SyntheticMultiConstraint make_random_multi_sink(const RandomMultiSinkSpec& spec) {
+  VRDF_REQUIRE(spec.sinks >= 2, "a multi-sink model needs at least two sinks");
+  VRDF_REQUIRE(spec.max_gear >= 1, "max gear must be positive");
+  VRDF_REQUIRE(spec.max_quantum >= spec.max_gear,
+               "max quantum must cover the gear range");
+  VRDF_REQUIRE(spec.variable_percent >= 0 && spec.variable_percent <= 100,
+               "variable_percent must be a percentage");
+  VRDF_REQUIRE(spec.zero_percent >= 0 && spec.zero_percent <= 100,
+               "zero_percent must be a percentage");
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<std::int64_t> gear_draw(1, spec.max_gear);
+  std::uniform_int_distribution<int> percent(0, 99);
+
+  VrdfGraph bare;
+  std::vector<std::int64_t> gear;  // by actor id
+  const Duration dummy = seconds(Rational(1));
+  const auto new_actor = [&](const std::string& name) {
+    const ActorId id = bare.add_actor(name, dummy);
+    gear.push_back(gear_draw(rng));
+    return id;
+  };
+  // Prefix (shared chain segment) edges x→y pin the rate-determining
+  // quanta to the gears (π̌ = g(x), γ̂ = g(y)); the free ends vary like
+  // in make_random_chain.  Branch edges must be static gear singletons:
+  // a variable realized flow past the fork could block it and starve a
+  // sibling sink (the analysis' constraint-coupling rule).
+  const auto add_gear_buffer = [&](ActorId x, ActorId y) {
+    const std::int64_t gx = gear[x.index()];
+    const std::int64_t gy = gear[y.index()];
+    RateSet production = RateSet::singleton(gx);
+    if (percent(rng) < spec.variable_percent && gx < spec.max_quantum) {
+      const std::int64_t hi =
+          std::uniform_int_distribution<std::int64_t>(gx, spec.max_quantum)(rng);
+      if (hi > gx) {
+        production = RateSet::interval(gx, hi);
+      }
+    }
+    RateSet consumption = RateSet::singleton(gy);
+    if (percent(rng) < spec.variable_percent) {
+      const std::int64_t lo =
+          percent(rng) < spec.zero_percent
+              ? 0
+              : std::uniform_int_distribution<std::int64_t>(1, gy)(rng);
+      if (lo < gy) {
+        consumption = RateSet::interval(lo, gy);
+      }
+    }
+    (void)bare.add_buffer(x, y, production, consumption);
+  };
+  const auto add_static_buffer = [&](ActorId x, ActorId y) {
+    (void)bare.add_buffer(x, y, RateSet::singleton(gear[x.index()]),
+                          RateSet::singleton(gear[y.index()]));
+  };
+
+  ActorId tail = new_actor("src");
+  const std::size_t prefix =
+      std::uniform_int_distribution<std::size_t>(0, spec.max_prefix_length)(rng);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const ActorId node = new_actor("pre_" + std::to_string(i));
+    add_gear_buffer(tail, node);
+    tail = node;
+  }
+  SyntheticMultiConstraint out;
+  for (std::size_t k = 0; k < spec.sinks; ++k) {
+    ActorId prev = tail;
+    const std::size_t length = std::uniform_int_distribution<std::size_t>(
+        0, spec.max_branch_length)(rng);
+    for (std::size_t i = 0; i < length; ++i) {
+      const ActorId node =
+          new_actor("b" + std::to_string(k) + "_" + std::to_string(i));
+      add_static_buffer(prev, node);
+      prev = node;
+    }
+    const ActorId sink = new_actor("snk" + std::to_string(k));
+    add_static_buffer(prev, sink);
+    // τ_k = g(sink_k)·λ keeps every demand at φ(v) = g(v)·λ — the sinks
+    // run at genuinely different rates yet stay flow-consistent.
+    out.constraints.push_back(ThroughputConstraint{
+        sink, spec.base_period * Rational(gear[sink.index()])});
+  }
+
+  auto scaled =
+      with_scaled_response_times(bare, out.constraints, spec.response_fraction);
+  VRDF_REQUIRE(scaled.has_value(),
+               "generated multi-sink graph must be admissible by construction");
+  out.graph = std::move(*scaled);
+  return out;
 }
 
 SyntheticChain make_video_pipeline() {

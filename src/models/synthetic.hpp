@@ -65,6 +65,12 @@ struct RandomChainSpec {
     const dataflow::VrdfGraph& graph,
     const analysis::ThroughputConstraint& constraint, Rational fraction);
 
+/// Constraint-set overload: φ(v) comes from the multi-constraint pacing
+/// propagation (the set must be flow-consistent or nullopt is returned).
+[[nodiscard]] std::optional<dataflow::VrdfGraph> with_scaled_response_times(
+    const dataflow::VrdfGraph& graph,
+    const analysis::ConstraintSet& constraints, Rational fraction);
+
 /// Parameters of the random fork-join generator.  Rates follow a "gear"
 /// scheme: each actor v gets an integer gear g(v), and every data edge
 /// x→y pins its rate-determining quanta to π̌ = g(x), γ̂ = g(y) (sink
@@ -193,5 +199,79 @@ struct AvSyncPipeline {
   analysis::ThroughputConstraint constraint;  // present at 25 Hz
 };
 [[nodiscard]] AvSyncPipeline make_av_sync_pipeline();
+
+/// The dual-presenter variant of the A/V pipeline — the canonical
+/// *multi-constraint* topology, with two strictly periodic data sinks:
+///
+///            ┌─> adec ──> apresent   (66⅔ Hz audio-block rate)
+///  src → demux
+///            └─> vdec ──> vpresent   (25 Hz video rate)
+///
+/// Gears src 4 / demux 2 / adec 3 / vdec 8 / apresent 3 / vpresent 8 with
+/// λ = 5 ms: every edge pins π̌ = g(producer), γ̂ = g(consumer), so both
+/// presenter constraints propagate the *same* demand φ(v) = g(v)·λ onto
+/// every shared actor — the flow-consistency requirement of the
+/// multi-constraint analysis, satisfied with two genuinely different
+/// periods (15 ms audio vs 40 ms video).  The branch edges are static
+/// (a dropped frame is consumed-and-discarded): a presenter whose
+/// realized drain could undercut its worst case would let its branch
+/// back-pressure the shared demultiplexer and starve the sibling — the
+/// constraint-coupling rejection.  Variability lives on the shared chain
+/// segment: the demultiplexer consumes 0-2 stream sectors per firing.
+struct AvDualSinkPipeline {
+  dataflow::VrdfGraph graph;
+  dataflow::ActorId src, demux, adec, vdec, apresent, vpresent;
+  dataflow::BufferEdges src_demux, demux_adec, demux_vdec, adec_apresent,
+      vdec_vpresent;
+  analysis::ConstraintSet constraints;  // {apresent 15 ms, vpresent 40 ms}
+};
+[[nodiscard]] AvDualSinkPipeline make_av_dual_sink_pipeline();
+
+/// A generated graph together with its simultaneous constraint set.
+struct SyntheticMultiConstraint {
+  dataflow::VrdfGraph graph;
+  analysis::ConstraintSet constraints;
+};
+
+/// Parameters of the random multi-sink generator: a chain prefix feeding a
+/// fork whose branches end in distinct strictly periodic sinks.  Rates
+/// follow the gear scheme of RandomForkJoinSpec (π̌ pinned to the
+/// producer's gear, γ̂ to the consumer's), and each sink k is constrained
+/// with period g(sink_k)·base_period — so every constraint propagates the
+/// same demand φ(v) = g(v)·base_period onto the shared prefix and the set
+/// is flow-consistent by construction while the sink periods genuinely
+/// differ.  Variability placement follows the constraint-coupling rule:
+/// branch edges past the fork are static gear singletons (a variable
+/// realized flow there could block the fork and starve a sibling sink),
+/// while the shared prefix carries data-dependent sets, including zero
+/// consumption quanta.
+struct RandomMultiSinkSpec {
+  std::uint64_t seed = 1;
+  /// Number of constrained sinks (>= 2), one branch each.
+  std::size_t sinks = 2;
+  /// Actors per branch between the fork and its sink (0..this many).
+  std::size_t max_branch_length = 2;
+  /// Chain actors before the fork actor (0..this many).
+  std::size_t max_prefix_length = 2;
+  /// Gears are drawn from [1, max_gear].
+  std::int64_t max_gear = 8;
+  /// Upper cap for the free end of variable production sets.
+  std::int64_t max_quantum = 16;
+  /// Probability (percent) that a prefix rate set is variable around its
+  /// gear.
+  int variable_percent = 50;
+  /// Probability (percent) that a variable consumption set includes zero.
+  int zero_percent = 20;
+  /// λ: sink k runs at period gear(sink_k)·base_period.
+  Duration base_period = milliseconds(Rational(1));
+  /// Response times are fraction · φ(v); 1/1 is the paper's tight setting.
+  Rational response_fraction = Rational(1);
+};
+
+/// A random, admissible multi-sink model whose computed capacities are
+/// verified sufficient by the two-phase simulation harness in the tests
+/// (every sink enforced strictly periodic at once, zero starvations).
+[[nodiscard]] SyntheticMultiConstraint make_random_multi_sink(
+    const RandomMultiSinkSpec& spec);
 
 }  // namespace vrdf::models

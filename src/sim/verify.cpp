@@ -12,21 +12,51 @@ VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
                                const analysis::ThroughputConstraint& constraint,
                                const SimulatorConfigurer& configure,
                                const VerifyOptions& options) {
-  VRDF_REQUIRE(options.observe_firings > 0, "need at least one observed firing");
-  VerifyResult result;
-  const Duration tau = constraint.period;
+  return verify_throughput(graph, analysis::ConstraintSet{constraint},
+                           configure, options);
+}
 
-  // Phase 1: self-timed, find the periodic offset.
+VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
+                               const analysis::ConstraintSet& constraints,
+                               const SimulatorConfigurer& configure,
+                               const VerifyOptions& options) {
+  VRDF_REQUIRE(options.observe_firings > 0, "need at least one observed firing");
+  VRDF_REQUIRE(!constraints.empty(), "need at least one constraint to verify");
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    for (std::size_t j = i + 1; j < constraints.size(); ++j) {
+      // A silent overwrite in set_actor_mode would enforce only the last
+      // period while the verdict claimed the whole set was verified.
+      VRDF_REQUIRE(constraints[i].actor != constraints[j].actor,
+                   "duplicate constrained actor in the verified set");
+    }
+  }
+  VerifyResult result;
+
+  // Phase 1: self-timed; find one periodic offset per constrained actor.
+  // All offsets come from the same run, so the enforced grids of phase 2
+  // keep their phase-1 relative alignment.
   Simulator phase1(graph);
   if (configure) {
     configure(phase1);
   }
   phase1.set_default_sources(options.default_seed);
-  phase1.record_firings(constraint.actor,
-                        static_cast<std::size_t>(options.observe_firings));
+  for (const analysis::ThroughputConstraint& c : constraints) {
+    // The run horizon is governed by the FIRST constraint's actor, so a
+    // faster secondary actor fires ~(tau_front / tau_c) times as often;
+    // cap its records accordingly or the offset fit would only see a
+    // truncated prefix of its lateness history.
+    const Rational ratio =
+        constraints.front().period.seconds() / c.period.seconds();
+    const std::int64_t per_front = std::max<std::int64_t>(ratio.ceil(), 1);
+    phase1.record_firings(
+        c.actor,
+        static_cast<std::size_t>(options.observe_firings) *
+                static_cast<std::size_t>(per_front) +
+            16);
+  }
   StopCondition stop;
-  stop.firing_target =
-      StopCondition::FiringTarget{constraint.actor, options.observe_firings};
+  stop.firing_target = StopCondition::FiringTarget{constraints.front().actor,
+                                                   options.observe_firings};
   const RunResult run1 = phase1.run(stop);
   if (run1.reason != StopReason::ReachedFiringTarget) {
     std::ostringstream os;
@@ -37,37 +67,57 @@ VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
     result.detail = os.str();
     return result;
   }
-  // Smallest o with start_k <= o + k·τ  ==>  o = max_k(start_k − k·τ).
-  const auto& records = phase1.firings(constraint.actor);
-  VRDF_REQUIRE(!records.empty(), "phase 1 recorded no firings");
-  Duration offset = records[0].start.seconds().is_zero()
-                        ? Duration()
-                        : (records[0].start - TimePoint());
+  // One offset per constrained actor, all measured from the same
+  // self-timed run: the grids then keep phase 1's causally consistent
+  // relative alignment (a pinned sink naturally lags a pinned source by
+  // the realized pipeline latency), and every enforced activation is no
+  // earlier than its self-timed start — sound by monotonicity.
+  std::vector<TimePoint> offsets;
+  offsets.reserve(constraints.size());
   Duration max_lateness;
-  for (std::size_t k = 0; k < records.size(); ++k) {
-    const Duration lateness =
-        records[k].start - (TimePoint() + tau * Rational(static_cast<std::int64_t>(k)));
-    if (lateness > offset) {
-      offset = lateness;
+  for (const analysis::ThroughputConstraint& c : constraints) {
+    const Duration tau = c.period;
+    // Smallest o with start_k <= o + k·τ  ==>  o = max_k(start_k − k·τ).
+    const auto& records = phase1.firings(c.actor);
+    if (records.empty()) {
+      result.detail = "phase 1 recorded no firings of constrained actor '" +
+                      graph.actor(c.actor).name + "'";
+      return result;
     }
-    const Duration vs_first =
-        records[k].start -
-        (records[0].start + tau * Rational(static_cast<std::int64_t>(k)));
-    if (vs_first > max_lateness) {
-      max_lateness = vs_first;
+    Duration offset = records[0].start.seconds().is_zero()
+                          ? Duration()
+                          : (records[0].start - TimePoint());
+    for (std::size_t k = 0; k < records.size(); ++k) {
+      const Duration lateness =
+          records[k].start -
+          (TimePoint() + tau * Rational(static_cast<std::int64_t>(k)));
+      if (lateness > offset) {
+        offset = lateness;
+      }
+      const Duration vs_first =
+          records[k].start -
+          (records[0].start + tau * Rational(static_cast<std::int64_t>(k)));
+      if (vs_first > max_lateness) {
+        max_lateness = vs_first;
+      }
     }
+    offsets.push_back(TimePoint() + offset);
   }
   result.max_lateness_phase1 = max_lateness;
-  result.offset_used = TimePoint() + offset;
+  result.offset_used = offsets.front();
 
-  // Phase 2: enforce the periodic schedule at the measured offset.
+  // Phase 2: enforce every constrained actor's periodic schedule at its
+  // measured offset, simultaneously.
   Simulator phase2(graph);
   if (configure) {
     configure(phase2);
   }
   phase2.set_default_sources(options.default_seed);
-  phase2.set_actor_mode(constraint.actor,
-                        ActorMode::strictly_periodic(result.offset_used, tau));
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    phase2.set_actor_mode(
+        constraints[c].actor,
+        ActorMode::strictly_periodic(offsets[c], constraints[c].period));
+  }
   const RunResult run2 = phase2.run(stop);
   result.starvation_count = static_cast<std::int64_t>(run2.starvations.size());
   if (run2.reason != StopReason::ReachedFiringTarget) {
