@@ -47,6 +47,8 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
   }
   analysis.side = pacing.side;
   analysis.constraints = pacing.constraints;
+  analysis.constraint_is_sink_kind = pacing.constraint_is_sink_kind;
+  analysis.constraint_is_source_kind = pacing.constraint_is_source_kind;
   analysis.is_chain = pacing.is_chain;
   analysis.is_cyclic = pacing.is_cyclic;
   analysis.actors_in_order = pacing.actors_in_order;
@@ -72,12 +74,15 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
     return analysis;
   }
 
-  // True when v carries a throughput constraint of the given kind
-  // (sink-kind: a data sink of the skeleton; source-kind: a data source).
+  // True when v carries a throughput constraint anchoring a region of the
+  // given kind (sink-kind: data sinks and interior pins seen from
+  // upstream; source-kind: data sources and interior pins seen from
+  // downstream — an interior pin is both at once).
   const auto constrained_kind = [&](dataflow::ActorId v, bool sink_kind) {
     const std::size_t c = pacing.constraint_of_actor[v.index()];
     return c != PacingResult::npos &&
-           pacing.constraint_is_sink_kind[c] == sink_kind;
+           (sink_kind ? pacing.constraint_is_sink_kind[c]
+                      : pacing.constraint_is_source_kind[c]);
   };
 
   // Schedule alignment ω(v): the worst-case lead (sink-determined region)
@@ -99,7 +104,10 @@ GraphAnalysis compute_buffer_capacities(const VrdfGraph& graph,
   // sink-anchored one: a boundary producer enters pass B with the pass-A
   // lead it already carries, so the dangling region's buffers absorb its
   // misalignment on top of their own (the fork sibling-slack argument,
-  // composed across the two passes).
+  // composed across the two passes).  An interior pin anchors BOTH
+  // passes at ω = 0 — its enforced schedule is the exact periodic grid
+  // its upstream (pass A) and downstream (pass B) regions each align to,
+  // which is what decouples the two sides.
   const dataflow::VrdfGraph::BufferView& view = pacing.view;
   const auto bound_rate_of = [&](std::size_t pos, const Edge& data) {
     return pacing.determined_by[pos] == ConstraintSide::Sink

@@ -33,6 +33,7 @@ struct CoreResult {
   std::vector<bool> sink_anchored;
   std::vector<std::size_t> constraint_of;       // by actor index
   std::vector<bool> constraint_is_sink_kind;    // by constraint index
+  std::vector<bool> constraint_is_source_kind;  // by constraint index
 };
 
 /// The bidirectional demand propagation over the skeleton topological
@@ -47,11 +48,19 @@ CoreResult propagate_core(const VrdfGraph& graph,
   const bool single = !partial && constraints.size() == 1;
   const char* const shape = view.is_chain ? "chains" : "graphs";
 
-  // Constraint kinds: every constrained actor must be a data source or a
-  // data sink of the skeleton (ends are the only schedulable anchors the
-  // sufficiency argument of Sec 4 covers).
+  // Constraint kinds: a constrained actor may sit anywhere in the
+  // skeleton.  Nothing in the sufficiency argument of Sec 4 requires the
+  // strictly periodic actor to be an end — pinning an interior actor
+  // splits the graph at an exactly periodic schedule: everything with a
+  // skeleton path *into* the pin is paced upstream exactly like a
+  // sink-constrained graph (the pin anchors a sink-kind region), and
+  // everything the pin reaches is paced downstream like a
+  // source-constrained graph (a source-kind region).  A data sink
+  // anchors only the former, a data source only the latter, an interior
+  // pin both.
   core.constraint_of.assign(graph.actor_count(), kNone);
   core.constraint_is_sink_kind.assign(constraints.size(), false);
+  core.constraint_is_source_kind.assign(constraints.size(), false);
   for (std::size_t c = 0; c < constraints.size(); ++c) {
     const ActorId actor = constraints[c].actor;
     if (core.constraint_of[actor.index()] != kNone) {
@@ -60,37 +69,22 @@ CoreResult propagate_core(const VrdfGraph& graph,
       return core;
     }
     core.constraint_of[actor.index()] = c;
-    const bool no_out = view.out_buffers[actor.index()].empty();
-    const bool no_in = view.in_buffers[actor.index()].empty();
-    if (no_out) {
-      core.constraint_is_sink_kind[c] = true;
-    } else if (no_in) {
-      core.constraint_is_sink_kind[c] = false;
-    } else {
-      std::ostringstream os;
-      if (single) {
-        if (view.is_chain) {
-          os << "throughput constraint must be on the chain's source or sink; '"
-             << graph.actor(actor).name << "' is interior";
-        } else {
-          os << "throughput constraint must be on the graph's unique data "
-                "source or sink; '"
-             << graph.actor(actor).name << "' is interior";
-        }
-      } else {
-        os << "every throughput constraint must be on a data source or sink "
-              "of the graph; '"
-           << graph.actor(actor).name << "' is interior";
-      }
-      core.diagnostics.push_back(os.str());
-      return core;
-    }
+    // A buffer-less actor (single-actor graph) counts as a data sink so
+    // its cone — itself — still receives the seed.
+    core.constraint_is_sink_kind[c] =
+        !view.in_buffers[actor.index()].empty() ||
+        view.out_buffers[actor.index()].empty();
+    core.constraint_is_source_kind[c] =
+        !view.out_buffers[actor.index()].empty();
   }
   core.primary_side = core.constraint_is_sink_kind[0] ? ConstraintSide::Sink
                                                       : ConstraintSide::Source;
   core.primary_side_known = true;
 
-  if (single) {
+  const bool single_end =
+      single && (!core.constraint_is_sink_kind[0] ||
+                 !core.constraint_is_source_kind[0]);
+  if (single_end) {
     // Every unconstrained actor must receive a pacing demand, so the
     // constrained end must be the *only* end of its kind: a second data
     // sink (sink mode) or data source (source mode) would be left unpaced.
@@ -139,21 +133,24 @@ CoreResult propagate_core(const VrdfGraph& graph,
   }
 
   // Sink-anchored region S: actors with a skeleton path into a sink-kind
-  // constrained actor.  Closed under predecessors, so sink-determined
-  // edges (consumer in S) live entirely inside it; the complement is
-  // closed under successors and paces forward from source-kind
-  // constraints.  The split makes the bidirectional propagation a plain
-  // two-pass walk: reverse topological order over S, then forward over
-  // the rest — no demand is read before it is final.  Counting the
-  // *distinct* constraints per actor (not just membership) also feeds the
-  // constraint-coupling rule below.
+  // anchor (a constrained data sink, or an interior pin seen from
+  // upstream).  Closed under predecessors, so sink-determined edges
+  // (consumer in S) live entirely inside it; the complement is closed
+  // under successors and paces forward from source-kind anchors
+  // (constrained data sources, or an interior pin seen from downstream).
+  // The split makes the bidirectional propagation a plain two-pass walk:
+  // reverse topological order over S, then forward over the rest — no
+  // demand is read before it is final.  Counting the *distinct*
+  // constraints per actor (not just membership) also feeds the
+  // constraint-coupling rule below; an interior pin counts on BOTH sides
+  // (for its downstream it is exactly a pinned source, for its upstream a
+  // pinned sink).
   std::vector<std::size_t> sink_count(graph.actor_count(), 0);
   std::vector<std::size_t> src_count(graph.actor_count(), 0);
-  for (std::size_t c = 0; c < constraints.size(); ++c) {
+  const auto walk_cone = [&](std::size_t c, bool sink_kind) {
     std::vector<bool> seen(graph.actor_count(), false);
     std::vector<ActorId> stack{constraints[c].actor};
     seen[constraints[c].actor.index()] = true;
-    const bool sink_kind = core.constraint_is_sink_kind[c];
     while (!stack.empty()) {
       const ActorId v = stack.back();
       stack.pop_back();
@@ -168,6 +165,14 @@ CoreResult propagate_core(const VrdfGraph& graph,
           stack.push_back(next);
         }
       }
+    }
+  };
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    if (core.constraint_is_sink_kind[c]) {
+      walk_cone(c, /*sink_kind=*/true);
+    }
+    if (core.constraint_is_source_kind[c]) {
+      walk_cone(c, /*sink_kind=*/false);
     }
   }
   core.sink_anchored.assign(graph.actor_count(), false);
@@ -193,7 +198,10 @@ CoreResult propagate_core(const VrdfGraph& graph,
   }
   if (!partial) {
     // Full coverage: every actor must be paced by some constraint.  With
-    // one constraint the uniqueness check above already guarantees this.
+    // one end constraint the uniqueness check above already guarantees
+    // this; with an interior pin this is the active guard (an actor that
+    // neither reaches the pin nor hangs off it — e.g. a sibling branch
+    // bypassing the pin — receives no demand).
     for (const ActorId v : view.actors) {
       if (!core.sink_anchored[v.index()] && !source_reached[v.index()]) {
         std::ostringstream os;
@@ -603,6 +611,7 @@ PacingResult compute_pacing(const VrdfGraph& graph,
   result.sink_anchored = std::move(core.sink_anchored);
   result.constraint_of_actor = std::move(core.constraint_of);
   result.constraint_is_sink_kind = std::move(core.constraint_is_sink_kind);
+  result.constraint_is_source_kind = std::move(core.constraint_is_source_kind);
   if (!core.ok) {
     return result;
   }

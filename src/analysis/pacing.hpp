@@ -19,13 +19,19 @@
 //    γ̌(e_xy), moving downstream in topological order, minimum over
 //    in-edges.
 //
-// With a single constraint every edge inherits the constraint's side (the
-// pre-PR-4 behaviour, reproduced bit for bit).  With a constraint *set*
-// the side is assigned per edge: every constrained actor must be a data
-// source or data sink of the skeleton; an edge whose consumer lies on a
-// path into a sink-kind constrained actor is sink-determined, every other
-// edge whose producer is reachable from a source-kind constrained actor
-// is source-determined, and an edge paced by neither is rejected (no
+// With a single *end* constraint every edge inherits the constraint's
+// side (the pre-PR-4 behaviour, reproduced bit for bit).  With a
+// constraint *set* — or a constraint on an *interior* actor — the side
+// is assigned per edge: a constrained actor may sit anywhere in the
+// skeleton; it anchors a sink-kind region through its input buffers
+// (everything with a skeleton path into it is paced upstream, exactly as
+// if the pin were a data sink) and a source-kind region through its
+// output buffers (everything it reaches is paced downstream, as if it
+// were a data source) — a data sink anchors only the former, a data
+// source only the latter, an interior pin both.  An edge whose consumer
+// lies on a path into a sink-kind anchor is sink-determined, every other
+// edge whose producer is reachable from a source-kind anchor is
+// source-determined, and an edge paced by neither is rejected (no
 // demand would relate its endpoints' rates).  Seeds propagate
 // bidirectionally over the skeleton topological order — upstream through
 // the sink-anchored region, downstream through the rest — taking the
@@ -108,9 +114,13 @@ struct PacingResult {
   /// constrained, npos otherwise.
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
   std::vector<std::size_t> constraint_of_actor;
-  /// Per constraint index: true when the constrained actor is a data sink
-  /// of the skeleton (sink-kind), false for a data source (source-kind).
+  /// Per constraint index: true when the constrained actor anchors a
+  /// sink-kind region, i.e. it has skeleton input buffers (data sinks and
+  /// interior pins) / a source-kind region, i.e. it has skeleton output
+  /// buffers (data sources and interior pins).  Exactly one holds at an
+  /// end; both hold for an interior pin.
   std::vector<bool> constraint_is_sink_kind;
+  std::vector<bool> constraint_is_source_kind;
   /// φ per position in actors_in_order.
   std::vector<Duration> pacing;
   /// φ indexed by ActorId::index() — the per-edge lookup the capacity
@@ -131,10 +141,13 @@ struct PacingResult {
 };
 
 /// Validates that the graph is a consistent buffer network whose cycles
-/// break at tokened back-edges, that the constrained actor is its unique
-/// data sink (sink mode) or unique data source (source mode), and
-/// propagates pacing.  Produces diagnostics instead of throwing for
-/// model-level infeasibility:
+/// break at tokened back-edges, and propagates pacing from the
+/// constrained actor.  A constrained end must be the graph's unique data
+/// sink (sink mode) or unique data source (source mode); an *interior*
+/// pin needs no uniqueness — it paces its whole upstream cone like a
+/// sink and its whole downstream cone like a source, and the coverage
+/// checks reject any actor or edge left unpaced.  Produces diagnostics
+/// instead of throwing for model-level infeasibility:
 ///  * a zero minimum quantum on the rate-determining side (would require
 ///    an infinite rate);
 ///  * data-dependent rate sets on a reconvergent fork-join edge — the
@@ -151,12 +164,12 @@ struct PacingResult {
 [[nodiscard]] PacingResult compute_pacing(const dataflow::VrdfGraph& graph,
                                           const ThroughputConstraint& constraint);
 
-/// Constraint-set overload: every constrained actor must be a data source
-/// or data sink of the skeleton, every actor must be paced by at least one
-/// constraint, and all demands must agree per actor (flow consistency —
-/// see the header comment).  With exactly one constraint this is
-/// bit-for-bit the single-constraint analysis, including its uniqueness
-/// requirement and diagnostics.
+/// Constraint-set overload: constrained actors may be ends or interior
+/// pins, every actor must be paced by at least one constraint, and all
+/// demands must agree per actor (flow consistency — see the header
+/// comment).  With exactly one end constraint this is bit-for-bit the
+/// single-constraint analysis, including its uniqueness requirement and
+/// diagnostics.
 [[nodiscard]] PacingResult compute_pacing(const dataflow::VrdfGraph& graph,
                                           const ConstraintSet& constraints);
 

@@ -47,9 +47,13 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
   }
   const dataflow::VrdfGraph::BufferView& view = unit.view;
 
-  // Per-edge bound-rate coefficient: s_e = (c_near / q_e)·τ.
-  const auto rate_coefficient = [&](const Edge& data) {
-    return unit.side == ConstraintSide::Sink
+  // Per-edge bound-rate coefficient: s_e = (c_near / q_e)·τ, where the
+  // near endpoint is the pair's rate-determining side (per-edge since an
+  // interior pin splits the graph into a sink-determined upstream cone
+  // and a source-determined downstream cone; with an end constraint every
+  // edge carries the constraint's global side, as before).
+  const auto rate_coefficient = [&](std::size_t pos, const Edge& data) {
+    return unit.determined_by[pos] == ConstraintSide::Sink
                ? unit.pacing_of(data.target).seconds() /
                      Rational(data.consumption.max())
                : unit.pacing_of(data.source).seconds() /
@@ -57,9 +61,12 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
   };
 
   // Schedule alignment ω(v) as an affine function of τ (see
-  // compute_buffer_capacities).  The max over a fork's edges can switch
-  // with τ, so the binding structure is taken at a candidate period and
-  // iterated to a fixed point below; the final answer is forward-verified.
+  // compute_buffer_capacities): the two-pass split of the forward
+  // analysis — reverse topological order over the sink-anchored region,
+  // forward over the rest — with the constrained actor anchoring both
+  // passes at ω = 0.  The max over a fork's edges can switch with τ, so
+  // the binding structure is taken at a candidate period and iterated to
+  // a fixed point below; the final answer is forward-verified.
   const auto leads_at = [&](const Rational& tau) {
     std::vector<AffineLead> lead(graph.actor_count());
     const auto consider = [&](AffineLead& longest, const AffineLead& candidate) {
@@ -67,42 +74,47 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
         longest = candidate;
       }
     };
-    if (unit.side == ConstraintSide::Sink) {
-      for (auto it = unit.actors_in_order.rbegin();
-           it != unit.actors_in_order.rend(); ++it) {
-        const dataflow::ActorId v = *it;
-        if (v == actor) {
-          continue;
-        }
-        AffineLead longest;
-        for (const std::size_t pos : view.out_buffers[v.index()]) {
-          const Edge& data = graph.edge(view.buffers[pos].data);
-          const AffineLead& down = lead[data.target.index()];
-          consider(longest,
-                   AffineLead{down.resp,
-                              down.rate + rate_coefficient(data) *
-                                              Rational(data.production.max() - 1)});
-        }
-        longest.resp = longest.resp + graph.actor(v).response_time.seconds();
-        lead[v.index()] = longest;
+    // Pass A — sink-anchored region.
+    for (auto it = unit.actors_in_order.rbegin();
+         it != unit.actors_in_order.rend(); ++it) {
+      const dataflow::ActorId v = *it;
+      if (!unit.sink_anchored[v.index()] || v == actor) {
+        continue;
       }
-    } else {
-      for (const dataflow::ActorId v : unit.actors_in_order) {
-        if (v == actor) {
+      AffineLead longest;
+      for (const std::size_t pos : view.out_buffers[v.index()]) {
+        if (unit.determined_by[pos] != ConstraintSide::Sink) {
           continue;
         }
-        AffineLead longest;
-        for (const std::size_t pos : view.in_buffers[v.index()]) {
-          const Edge& data = graph.edge(view.buffers[pos].data);
-          const AffineLead& up = lead[data.source.index()];
-          consider(longest,
-                   AffineLead{up.resp +
-                                  graph.actor(data.source).response_time.seconds(),
-                              up.rate + rate_coefficient(data) *
+        const Edge& data = graph.edge(view.buffers[pos].data);
+        const AffineLead& down = lead[data.target.index()];
+        consider(longest,
+                 AffineLead{down.resp,
+                            down.rate + rate_coefficient(pos, data) *
                                             Rational(data.production.max() - 1)});
-        }
-        lead[v.index()] = longest;
       }
+      longest.resp = longest.resp + graph.actor(v).response_time.seconds();
+      lead[v.index()] = longest;
+    }
+    // Pass B — the rest, forward order.
+    for (const dataflow::ActorId v : unit.actors_in_order) {
+      if (unit.sink_anchored[v.index()] || v == actor) {
+        continue;
+      }
+      AffineLead longest;
+      for (const std::size_t pos : view.in_buffers[v.index()]) {
+        if (unit.determined_by[pos] != ConstraintSide::Source) {
+          continue;
+        }
+        const Edge& data = graph.edge(view.buffers[pos].data);
+        const AffineLead& up = lead[data.source.index()];
+        consider(longest,
+                 AffineLead{up.resp +
+                                graph.actor(data.source).response_time.seconds(),
+                            up.rate + rate_coefficient(pos, data) *
+                                          Rational(data.production.max() - 1)});
+      }
+      lead[v.index()] = longest;
     }
     return lead;
   };
@@ -153,9 +165,10 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
       const std::string label = "buffer " + graph.actor(data.source).name +
                                 "->" + graph.actor(data.target).name;
 
+      const ConstraintSide pair_side = unit.determined_by[i];
       const bool is_static =
           data.production.is_singleton() && data.consumption.is_singleton();
-      const bool adjacent = unit.side == ConstraintSide::Sink
+      const bool adjacent = pair_side == ConstraintSide::Sink
                                 ? data.target == actor
                                 : data.source == actor;
       // Back-edges never qualify for the tight rounding (see the forward
@@ -168,7 +181,7 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
       // affine branch is chosen at the candidate period, like the
       // alignment max itself, and validated by forward verification.
       const AffineLead aligned =
-          unit.side == ConstraintSide::Sink
+          pair_side == ConstraintSide::Sink
               ? AffineLead{lead[data.source.index()].resp -
                                lead[data.target.index()].resp,
                            lead[data.source.index()].rate -
@@ -179,7 +192,7 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
                                lead[data.source.index()].rate};
       const AffineLead chain_local{
           graph.actor(data.source).response_time.seconds(),
-          rate_coefficient(data) * Rational(pi_max - 1)};
+          rate_coefficient(i, data) * Rational(pi_max - 1)};
       // Ties keep `aligned`, which on skeleton edges is always ≥ the
       // chain-local value — acyclic graphs reproduce the pre-cyclic
       // results exactly.
@@ -187,10 +200,10 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
           chain_local.at(candidate_tau) > aligned.at(candidate_tau)
               ? chain_local
               : aligned;
-      const Rational c = unit.side == ConstraintSide::Sink
+      const Rational c = pair_side == ConstraintSide::Sink
                              ? unit.pacing_of(data.target).seconds()
                              : unit.pacing_of(data.source).seconds();
-      const std::int64_t q = unit.side == ConstraintSide::Sink ? gamma_max
+      const std::int64_t q = pair_side == ConstraintSide::Sink ? gamma_max
                                                                : pi_max;
       // delta_total = R + C·τ with the consumer-side Eq (2) terms added.
       const Rational resp_part =

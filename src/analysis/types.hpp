@@ -11,12 +11,13 @@
 namespace vrdf::analysis {
 
 /// "Actor `actor` must execute strictly periodically with period `period`."
-/// The paper requires the constrained task to sit at an end of the chain.
-/// With a single constraint the generalised analysis requires it to be the
-/// unique data sink (no output buffers, Sec 4.2/4.3) or the unique data
-/// source (no input buffers, Sec 4.4) of the graph; a *set* of constraints
-/// may pin several ends at once (every constrained actor must still be a
-/// data source or data sink of the skeleton), with demands propagated
+/// The paper pins an end of the chain, but nothing in the theory requires
+/// that: the generalised analysis accepts any skeleton actor.  A
+/// constrained *end* must be the unique data sink (Sec 4.2/4.3) or unique
+/// data source (Sec 4.4) of the graph; an *interior* pin — a fixed-rate
+/// DSP core between a demuxer and a renderer, say — anchors its upstream
+/// cone like a sink and its downstream cone like a source.  A *set* of
+/// constraints may pin several actors at once, with demands propagated
 /// bidirectionally and checked for flow consistency.
 struct ThroughputConstraint {
   dataflow::ActorId actor;
@@ -31,11 +32,12 @@ struct ThroughputConstraint {
 using ConstraintSet = std::vector<ThroughputConstraint>;
 
 /// Which endpoint of a producer-consumer pair determines its rate.  With a
-/// single constraint this is global (every pair inherits the constraint's
-/// end); with a constraint set it is assigned per pair: pairs on a path
-/// into a sink-kind constrained actor pace upstream (Sink — the consumer
-/// determines), pairs hanging off a source-kind constrained actor pace
-/// downstream (Source — the producer determines).
+/// single *end* constraint this is global (every pair inherits the
+/// constraint's end); with a constraint set or an interior pin it is
+/// assigned per pair: pairs on a path into a sink-kind anchor (a
+/// constrained data sink, or an interior pin seen from upstream) pace
+/// upstream (Sink — the consumer determines), pairs hanging off a
+/// source-kind anchor pace downstream (Source — the producer determines).
 enum class ConstraintSide {
   Sink,    // Sec 4.2/4.3: rates propagate upstream against the data flow
   Source,  // Sec 4.4: rates propagate downstream with the data flow
@@ -135,6 +137,12 @@ struct GraphAnalysis {
   /// The constraint set the analysis ran with (size 1 for the
   /// single-constraint entry point).
   ConstraintSet constraints;
+  /// Per constraint index: whether the constrained actor anchors a
+  /// sink-kind (upstream) and/or source-kind (downstream) pacing region.
+  /// Exactly one holds at an end; both hold for an interior pin (see
+  /// PacingResult).
+  std::vector<bool> constraint_is_sink_kind;
+  std::vector<bool> constraint_is_source_kind;
   /// True when the data edges form a chain (the paper's Sec 3.1 shape);
   /// actors_in_order is then exactly the chain order.
   bool is_chain = false;

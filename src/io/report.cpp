@@ -27,6 +27,13 @@ std::string render_report(const dataflow::VrdfGraph& graph,
       analysis.is_chain ? "chain"
                         : (analysis.is_cyclic ? "cyclic graph"
                                               : "fork-join graph");
+  // An interior pin anchors both a sink-kind (upstream) and a source-kind
+  // (downstream) region; an end anchors exactly one.
+  const auto is_interior = [&](std::size_t c) {
+    return c < analysis.constraint_is_sink_kind.size() &&
+           analysis.constraint_is_sink_kind[c] &&
+           analysis.constraint_is_source_kind[c];
+  };
   os << "# Buffer-capacity analysis report\n\n";
   if (!multi) {
     const analysis::ThroughputConstraint& constraint = constraints.front();
@@ -34,8 +41,12 @@ std::string render_report(const dataflow::VrdfGraph& graph,
        << graph.actor(constraint.actor).name << "` strictly periodic, period "
        << constraint.period.seconds().to_string() << " s ("
        << constraint.period.seconds().reciprocal().to_double() << " Hz), "
-       << (analysis.side == analysis::ConstraintSide::Sink ? "sink" : "source")
-       << "-constrained " << shape_word << " of "
+       << (is_interior(0)
+               ? "interior-pinned"
+               : (analysis.side == analysis::ConstraintSide::Sink
+                      ? "sink-constrained"
+                      : "source-constrained"))
+       << " " << shape_word << " of "
        << analysis.actors_in_order.size() << " tasks";
   } else {
     os << "Throughput constraints (" << constraints.size() << "): ";
@@ -46,7 +57,8 @@ std::string render_report(const dataflow::VrdfGraph& graph,
       os << "actor `" << graph.actor(constraints[c].actor).name
          << "` strictly periodic, period "
          << constraints[c].period.seconds().to_string() << " s ("
-         << constraints[c].period.seconds().reciprocal().to_double() << " Hz)";
+         << constraints[c].period.seconds().reciprocal().to_double() << " Hz"
+         << (is_interior(c) ? ", interior" : "") << ")";
     }
     os << " — multi-constrained " << shape_word << " of "
        << analysis.actors_in_order.size() << " tasks";
@@ -82,7 +94,11 @@ std::string render_report(const dataflow::VrdfGraph& graph,
     if (pair.is_feedback) {
       name += " (feedback, delta=" + std::to_string(pair.initial_tokens) + ")";
     }
-    if (multi && pair.determined_by == analysis::ConstraintSide::Source) {
+    // Mark the pairs whose side differs from the report's headline mode:
+    // source-determined pairs of a multi-constraint set, and the
+    // downstream region of an interior pin (whose headline side is Sink).
+    if (pair.determined_by == analysis::ConstraintSide::Source &&
+        (multi || analysis.side == analysis::ConstraintSide::Sink)) {
       name += " (producer-paced)";
     }
     caps.add_row(

@@ -1,5 +1,6 @@
 #include "io/text_format.hpp"
 
+#include <cctype>
 #include <sstream>
 #include <vector>
 
@@ -118,6 +119,22 @@ std::string write_chain(const dataflow::VrdfGraph& graph,
   for (const dataflow::EdgeId e : graph.edges()) {
     VRDF_REQUIRE(graph.edge(e).paired.is_valid(),
                  "write_chain only serializes buffer-paired graphs");
+  }
+  // The format tokenizes on whitespace, strips '#' comments and keys
+  // buffer endpoints on the literal "->" token, so a name containing any
+  // of those would serialize into a document that reparses wrong (or off
+  // by one token).  Reject at write time instead of emitting garbage.
+  for (const dataflow::ActorId a : graph.actors()) {
+    const std::string& name = graph.actor(a).name;
+    bool bad = name.empty() || name == "->" ||
+               name.find('#') != std::string::npos ||
+               name.find('=') != std::string::npos;
+    for (const char c : name) {
+      bad = bad || std::isspace(static_cast<unsigned char>(c)) != 0;
+    }
+    VRDF_REQUIRE(!bad, "write_chain: actor name '" + name +
+                           "' cannot be serialized (empty, \"->\", or "
+                           "containing whitespace, '=' or '#')");
   }
   std::ostringstream os;
   os << "vrdf-chain v1\n";

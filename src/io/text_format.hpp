@@ -40,6 +40,10 @@ struct ChainDocument {
 };
 
 /// Serializes a chain model (buffers only; bare edges are rejected).
+/// Actor names that cannot round-trip through the whitespace-tokenized
+/// format — empty, the "->" token, or containing whitespace, '=' or
+/// '#' — are a ContractError at write time, never a silently-wrong
+/// document.
 [[nodiscard]] std::string write_chain(
     const dataflow::VrdfGraph& graph,
     const std::optional<analysis::ThroughputConstraint>& constraint);

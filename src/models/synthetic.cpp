@@ -543,6 +543,120 @@ SyntheticMultiConstraint make_random_multi_sink(const RandomMultiSinkSpec& spec)
   return out;
 }
 
+InteriorPinnedPipeline make_interior_pinned_pipeline() {
+  VrdfGraph bare;
+  const Duration dummy = seconds(Rational(1));
+  InteriorPinnedPipeline model;
+  model.source = bare.add_actor("source", dummy);
+  model.dec = bare.add_actor("dec", dummy);
+  model.dsp = bare.add_actor("dsp", dummy);
+  model.render = bare.add_actor("render", dummy);
+  model.sink = bare.add_actor("sink", dummy);
+
+  // Gears source 4 / dec 2 / dsp 1 / render 2 / sink 8, τ = 5 ms:
+  // φ(source) 20 ms, φ(dec) 10 ms, φ(dsp) 5 ms, φ(render) 10 ms,
+  // φ(sink) 40 ms — every bound rate is 5 ms per token.  Upstream of the
+  // pin the edges are consumer-determined (the decoder may consume
+  // nothing while seeking — zero quantum — and emits 2-5 coded blocks
+  // per firing); downstream they are producer-determined (the renderer
+  // may emit nothing for a dropped frame).  dec→dsp is static: the pin
+  // consumes exactly one block per 5 ms period, so the pair degenerates
+  // to the data-independent technique and takes the tight capacity.
+  model.source_dec = bare.add_buffer(model.source, model.dec,
+                                     RateSet::singleton(4), RateSet::of({0, 1, 2}));
+  model.dec_dsp = bare.add_buffer(model.dec, model.dsp, RateSet::singleton(2),
+                                  RateSet::singleton(1));
+  model.dsp_render = bare.add_buffer(model.dsp, model.render,
+                                     RateSet::singleton(1), RateSet::interval(2, 4));
+  model.render_sink = bare.add_buffer(model.render, model.sink,
+                                      RateSet::interval(0, 2), RateSet::singleton(8));
+
+  model.constraint =
+      analysis::ThroughputConstraint{model.dsp, milliseconds(Rational(5))};
+  auto scaled = with_scaled_response_times(bare, model.constraint, Rational(1));
+  VRDF_REQUIRE(scaled.has_value(), "interior-pinned pipeline must be admissible");
+  model.graph = std::move(*scaled);
+  return model;
+}
+
+SyntheticChain make_random_interior_pinned(const RandomInteriorPinSpec& spec) {
+  VRDF_REQUIRE(spec.upstream_length >= 1 && spec.downstream_length >= 1,
+               "an interior pin needs actors on both sides");
+  VRDF_REQUIRE(spec.max_gear >= 1, "max gear must be positive");
+  VRDF_REQUIRE(spec.max_quantum >= spec.max_gear,
+               "max quantum must cover the gear range");
+  VRDF_REQUIRE(spec.variable_percent >= 0 && spec.variable_percent <= 100,
+               "variable_percent must be a percentage");
+  VRDF_REQUIRE(spec.zero_percent >= 0 && spec.zero_percent <= 100,
+               "zero_percent must be a percentage");
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<std::int64_t> gear_draw(1, spec.max_gear);
+  std::uniform_int_distribution<int> percent(0, 99);
+
+  VrdfGraph bare;
+  std::vector<std::int64_t> gear;  // by actor id
+  const Duration dummy = seconds(Rational(1));
+  const auto new_actor = [&](const std::string& name) {
+    const ActorId id = bare.add_actor(name, dummy);
+    gear.push_back(gear_draw(rng));
+    return id;
+  };
+  // The rate-determining side of every edge is pinned to the gears; the
+  // free side varies like in make_random_chain.  Upstream (sink-mode):
+  // π̌ = g(x) with a free tail up to max_quantum, γ̂ = g(y) with a free
+  // tail down to zero.  Downstream (source-mode): mirrored.
+  const auto pinned_min = [&](std::int64_t g) -> RateSet {
+    if (percent(rng) < spec.variable_percent && g < spec.max_quantum) {
+      const std::int64_t hi =
+          std::uniform_int_distribution<std::int64_t>(g, spec.max_quantum)(rng);
+      if (hi > g) {
+        return RateSet::interval(g, hi);
+      }
+    }
+    return RateSet::singleton(g);
+  };
+  const auto pinned_max = [&](std::int64_t g) -> RateSet {
+    if (percent(rng) < spec.variable_percent) {
+      const std::int64_t lo =
+          percent(rng) < spec.zero_percent
+              ? 0
+              : std::uniform_int_distribution<std::int64_t>(1, g)(rng);
+      if (lo < g) {
+        return RateSet::interval(lo, g);
+      }
+    }
+    return RateSet::singleton(g);
+  };
+
+  std::vector<ActorId> actors;
+  for (std::size_t i = 0; i < spec.upstream_length; ++i) {
+    actors.push_back(new_actor("u" + std::to_string(i)));
+  }
+  const ActorId pin = new_actor("pin");
+  actors.push_back(pin);
+  for (std::size_t i = 0; i < spec.downstream_length; ++i) {
+    actors.push_back(new_actor("d" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i + 1 < actors.size(); ++i) {
+    const ActorId x = actors[i];
+    const ActorId y = actors[i + 1];
+    const bool upstream_of_pin = i < spec.upstream_length;
+    const RateSet production = upstream_of_pin ? pinned_min(gear[x.index()])
+                                               : pinned_max(gear[x.index()]);
+    const RateSet consumption = upstream_of_pin ? pinned_max(gear[y.index()])
+                                                : pinned_min(gear[y.index()]);
+    (void)bare.add_buffer(x, y, production, consumption);
+  }
+
+  const analysis::ThroughputConstraint constraint{pin, spec.period};
+  auto scaled =
+      with_scaled_response_times(bare, constraint, spec.response_fraction);
+  VRDF_REQUIRE(scaled.has_value(),
+               "generated interior-pinned chain must be admissible by "
+               "construction");
+  return SyntheticChain{std::move(*scaled), constraint};
+}
+
 SyntheticChain make_video_pipeline() {
   VrdfGraph bare;
   const Duration dummy = seconds(Rational(1));

@@ -58,9 +58,10 @@ struct RandomChainSpec {
 /// A copy of `graph` whose response times are replaced by
 /// fraction · φ(v) for the given constraint — the generator used to
 /// produce admissible test instances from bare topologies.  Returns
-/// nullopt when pacing fails (cyclic data edges, interior constraint,
-/// ...).  Works on any topology compute_pacing accepts, chains and
-/// fork-join graphs alike.
+/// nullopt when pacing fails (token-free cyclic data edges, unpaced
+/// actors, ...).  Works on any topology and constraint placement
+/// compute_pacing accepts — chains, fork-join graphs, interior pins
+/// alike.
 [[nodiscard]] std::optional<dataflow::VrdfGraph> with_scaled_response_times(
     const dataflow::VrdfGraph& graph,
     const analysis::ThroughputConstraint& constraint, Rational fraction);
@@ -273,5 +274,61 @@ struct RandomMultiSinkSpec {
 /// (every sink enforced strictly periodic at once, zero starvations).
 [[nodiscard]] SyntheticMultiConstraint make_random_multi_sink(
     const RandomMultiSinkSpec& spec);
+
+/// The canonical *interior-pin* topology (PR 5): a fixed-rate DSP core
+/// strictly periodic in the middle of a media chain,
+///
+///   source → dec → **dsp** → render → sink
+///
+/// with the throughput constraint on `dsp` (5 ms).  The pin splits the
+/// chain: source→dec→dsp is paced upstream exactly like a
+/// sink-constrained chain (consumer-determined, zero-tolerant
+/// consumption quanta), dsp→render→sink downstream like a
+/// source-constrained chain (producer-determined, zero-tolerant
+/// production quanta).  Gears source 4 / dec 2 / dsp 1 / render 2 /
+/// sink 8 with tight response times ρ(v) = φ(v) give hand-computable
+/// capacities {11, 4, 7, 19} (dec→dsp takes the tight ⌈x⌉ — the pin's
+/// consumption grid is exact, the same argument as a constrained sink).
+struct InteriorPinnedPipeline {
+  dataflow::VrdfGraph graph;
+  dataflow::ActorId source, dec, dsp, render, sink;
+  dataflow::BufferEdges source_dec, dec_dsp, dsp_render, render_sink;
+  analysis::ThroughputConstraint constraint;  // dsp, strictly periodic 5 ms
+};
+[[nodiscard]] InteriorPinnedPipeline make_interior_pinned_pipeline();
+
+/// Parameters of the random interior-pin generator: a chain of
+/// `upstream_length` actors feeding a strictly periodic pin feeding
+/// `downstream_length` actors.  Rates follow the gear scheme
+/// (φ(v) = g(v)·τ/g(pin)); upstream edges pin π̌/γ̂ to the gears with
+/// sink-mode variability (zero-tolerant consumption), downstream edges
+/// pin π̂/γ̌ with source-mode variability (zero-tolerant production) —
+/// each side exercises exactly the variability its pacing direction
+/// tolerates.
+struct RandomInteriorPinSpec {
+  std::uint64_t seed = 1;
+  /// Actors strictly before / after the pin (>= 1 each).
+  std::size_t upstream_length = 2;
+  std::size_t downstream_length = 2;
+  /// Gears are drawn from [1, max_gear].
+  std::int64_t max_gear = 8;
+  /// Upper cap for the free (non-gear) end of variable rate sets.
+  std::int64_t max_quantum = 16;
+  /// Probability (percent) that a rate set is variable around its gear.
+  int variable_percent = 50;
+  /// Probability (percent) that a variable tolerant-side set includes zero.
+  int zero_percent = 20;
+  /// Period of the pinned interior actor.
+  Duration period = milliseconds(Rational(1));
+  /// Response times are fraction · φ(v); 1/1 is the paper's tight setting.
+  Rational response_fraction = Rational(1);
+};
+
+/// A random, admissible chain with a strictly periodic *interior* actor;
+/// the computed capacities are verified sufficient by the two-phase
+/// simulation harness in the tests (the pin enforced periodic, zero
+/// starvations).
+[[nodiscard]] SyntheticChain make_random_interior_pinned(
+    const RandomInteriorPinSpec& spec);
 
 }  // namespace vrdf::models

@@ -70,8 +70,10 @@ VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
   // One offset per constrained actor, all measured from the same
   // self-timed run: the grids then keep phase 1's causally consistent
   // relative alignment (a pinned sink naturally lags a pinned source by
-  // the realized pipeline latency), and every enforced activation is no
-  // earlier than its self-timed start — sound by monotonicity.
+  // the realized pipeline latency; an interior pin's grid likewise lags
+  // its upstream by the realized latency of its demand cone), and every
+  // enforced activation is no earlier than its self-timed start — sound
+  // by monotonicity.
   std::vector<TimePoint> offsets;
   offsets.reserve(constraints.size());
   Duration max_lateness;

@@ -82,10 +82,28 @@ Rational Rational::from_string(const std::string& text) {
   VRDF_REQUIRE(!text.empty(), "cannot parse rational from empty string");
   const auto slash = text.find('/');
   const auto dot = text.find('.');
+  // Checked std::stoll over a component: the whole substring must be one
+  // integer.  std::stoll alone stops at the first non-digit, silently
+  // truncating trailing garbage — "3/4x" parsed as 3/4, "1e3" as 1,
+  // "3/4/5" as 3/4 — and accepts leading whitespace; both are rejected
+  // here with the full literal named.
+  const auto component = [&text](const std::string& part) {
+    if (part.empty() ||
+        std::isspace(static_cast<unsigned char>(part.front())) != 0) {
+      throw ContractError("malformed rational literal: '" + text + "'");
+    }
+    std::size_t consumed = 0;
+    const std::int64_t value = std::stoll(part, &consumed);
+    if (consumed != part.size()) {
+      throw ContractError("malformed rational literal: '" + text +
+                          "' (trailing characters)");
+    }
+    return value;
+  };
   try {
     if (slash != std::string::npos) {
-      const std::int64_t n = std::stoll(text.substr(0, slash));
-      const std::int64_t d = std::stoll(text.substr(slash + 1));
+      const std::int64_t n = component(text.substr(0, slash));
+      const std::int64_t d = component(text.substr(slash + 1));
       return Rational(n, d);
     }
     if (dot != std::string::npos) {
@@ -102,12 +120,13 @@ Rational Rational::from_string(const std::string& text) {
       }
       const bool negative = !whole.empty() && whole[0] == '-';
       const std::int64_t w =
-          (whole.empty() || whole == "-" || whole == "+") ? 0 : std::stoll(whole);
-      const std::int64_t f = std::stoll(frac);
+          (whole.empty() || whole == "-" || whole == "+") ? 0
+                                                          : component(whole);
+      const std::int64_t f = component(frac);
       const std::int64_t mag = checked_add(checked_mul(w < 0 ? -w : w, scale), f);
       return Rational(negative ? checked_neg(mag) : mag, scale);
     }
-    return Rational(std::stoll(text));
+    return Rational(component(text));
   } catch (const std::invalid_argument&) {
     throw ContractError("malformed rational literal: '" + text + "'");
   } catch (const std::out_of_range&) {

@@ -29,7 +29,9 @@ TEST(Pacing, Fig1PacingPropagatesUpstream) {
   EXPECT_EQ(pacing.pacing[1], kTau);
 }
 
-TEST(Pacing, RejectsInteriorConstraint) {
+TEST(Pacing, AcceptsInteriorConstraint) {
+  // PR 5: an interior pin paces its upstream cone like a sink and its
+  // downstream cone like a source (the old ends-only rejection is gone).
   VrdfGraph g;
   const ActorId a = g.add_actor("a", kTau);
   const ActorId b = g.add_actor("b", kTau);
@@ -38,9 +40,16 @@ TEST(Pacing, RejectsInteriorConstraint) {
   (void)g.add_buffer(b, c, RateSet::singleton(1), RateSet::singleton(1));
   const PacingResult pacing =
       compute_pacing(g, ThroughputConstraint{b, kTau});
-  EXPECT_FALSE(pacing.ok);
-  ASSERT_FALSE(pacing.diagnostics.empty());
-  EXPECT_NE(pacing.diagnostics[0].find("interior"), std::string::npos);
+  ASSERT_TRUE(pacing.ok) << pacing.diagnostics[0];
+  EXPECT_EQ(pacing.pacing_of(a), kTau);
+  EXPECT_EQ(pacing.pacing_of(b), kTau);
+  EXPECT_EQ(pacing.pacing_of(c), kTau);
+  ASSERT_EQ(pacing.determined_by.size(), 2u);
+  EXPECT_EQ(pacing.determined_by[0], ConstraintSide::Sink);    // a -> b
+  EXPECT_EQ(pacing.determined_by[1], ConstraintSide::Source);  // b -> c
+  ASSERT_EQ(pacing.constraint_is_sink_kind.size(), 1u);
+  EXPECT_TRUE(pacing.constraint_is_sink_kind[0]);
+  EXPECT_TRUE(pacing.constraint_is_source_kind[0]);
 }
 
 TEST(Pacing, RejectsNonPositivePeriod) {

@@ -287,7 +287,7 @@ TEST(MultiConstraint, EdgePacedByNoConstraintRejected) {
   EXPECT_FALSE(sized.admissible);
 }
 
-TEST(MultiConstraint, DuplicateAndInteriorConstraintsRejected) {
+TEST(MultiConstraint, DuplicateAndEmptyConstraintsRejected) {
   models::AvDualSinkPipeline app = models::make_av_dual_sink_pipeline();
   const ConstraintSet duplicate = {app.constraints[0], app.constraints[0]};
   const PacingResult dup = compute_pacing(app.graph, duplicate);
@@ -295,12 +295,28 @@ TEST(MultiConstraint, DuplicateAndInteriorConstraintsRejected) {
   EXPECT_NE(dup.diagnostics[0].find("duplicate throughput constraint"),
             std::string::npos);
 
+  // PR 5: an interior pin is a valid constraint.  Adding the shared
+  // demultiplexer at its flow-consistent period (φ(demux) = 10 ms) now
+  // *succeeds* — the old "is interior" rejection is gone — while a
+  // flow-inconsistent interior period is still rejected as a seed
+  // violation, not as "interior".
   ConstraintSet interior = app.constraints;
   interior.push_back(
       ThroughputConstraint{app.demux, milliseconds(Rational(10))});
   const PacingResult inner = compute_pacing(app.graph, interior);
-  ASSERT_FALSE(inner.ok);
-  EXPECT_NE(inner.diagnostics[0].find("interior"), std::string::npos);
+  EXPECT_TRUE(inner.ok) << (inner.diagnostics.empty()
+                                ? ""
+                                : inner.diagnostics[0]);
+  ConstraintSet skewed_interior = app.constraints;
+  skewed_interior.push_back(
+      ThroughputConstraint{app.demux, milliseconds(Rational(12))});
+  const PacingResult skewed = compute_pacing(app.graph, skewed_interior);
+  ASSERT_FALSE(skewed.ok);
+  ASSERT_FALSE(skewed.diagnostics.empty());
+  EXPECT_EQ(skewed.diagnostics[0].find("interior"), std::string::npos)
+      << skewed.diagnostics[0];
+  EXPECT_NE(skewed.diagnostics[0].find("'demux'"), std::string::npos)
+      << skewed.diagnostics[0];
 
   const PacingResult empty = compute_pacing(app.graph, ConstraintSet{});
   ASSERT_FALSE(empty.ok);

@@ -124,6 +124,36 @@ TEST(Rational, FromStringRejectsGarbage) {
   EXPECT_THROW((void)Rational::from_string("1.x"), ContractError);
 }
 
+TEST(Rational, FromStringRejectsTrailingGarbagePerComponent) {
+  // std::stoll stops at the first non-digit, so these used to parse
+  // *silently wrong*: "3/4x" as 3/4, "1e3" as 1, "3/4/5" as 3/4.  Every
+  // component must now consume its whole substring.
+  EXPECT_THROW((void)Rational::from_string("3/4x"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("1e3"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("3/4/5"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("3x/4"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("1 2"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("12 "), ContractError);
+  EXPECT_THROW((void)Rational::from_string("1.5e3"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("1x.5"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("3/"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("/4"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("--3"), ContractError);
+}
+
+TEST(Rational, FromStringSignAndComponentForms) {
+  // Slash, decimal, integer and sign-only-whole forms still parse.
+  EXPECT_EQ(Rational::from_string("+3/4"), Rational(3, 4));
+  EXPECT_EQ(Rational::from_string("3/-4"), Rational(-3, 4));
+  EXPECT_EQ(Rational::from_string(".5"), Rational(1, 2));
+  EXPECT_EQ(Rational::from_string("-.5"), Rational(-1, 2));
+  EXPECT_EQ(Rational::from_string("+.5"), Rational(1, 2));
+  EXPECT_EQ(Rational::from_string("+7"), Rational(7));
+  EXPECT_THROW((void)Rational::from_string("-"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("+"), ContractError);
+  EXPECT_THROW((void)Rational::from_string("."), ContractError);
+}
+
 TEST(Rational, OverflowDetectedInAddition) {
   const Rational big(std::numeric_limits<std::int64_t>::max() / 2, 1);
   EXPECT_THROW((void)(big + big + big), OverflowError);

@@ -1,0 +1,131 @@
+// Text-format round-trip identity: write → parse → write must reproduce
+// the document byte for byte across every random generator — constraints,
+// capacity= (installed via apply_capacities) and delta= (cyclic
+// back-edge tokens) included — plus the write-time rejection of actor
+// names the whitespace-tokenized format cannot represent.
+#include <gtest/gtest.h>
+
+#include "analysis/buffer_sizing.hpp"
+#include "io/text_format.hpp"
+#include "models/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace vrdf::io {
+namespace {
+
+using dataflow::ActorId;
+using dataflow::RateSet;
+using dataflow::VrdfGraph;
+
+/// Sizes the graph (when admissible), serializes, reparses, reserializes
+/// and checks byte identity plus graph-level equality of the reparse.
+void expect_round_trip_identity(VrdfGraph graph,
+                                const analysis::ConstraintSet& constraints,
+                                const std::string& label) {
+  const analysis::GraphAnalysis sized =
+      analysis::compute_buffer_capacities(graph, constraints);
+  ASSERT_TRUE(sized.admissible)
+      << label << ": " << (sized.diagnostics.empty() ? "" : sized.diagnostics[0]);
+  analysis::apply_capacities(graph, sized);
+
+  const std::string text = write_chain(graph, constraints);
+  const ChainDocument parsed = read_chain(text);
+  EXPECT_EQ(write_chain(parsed.graph, parsed.constraints), text) << label;
+
+  // The reparse is the same model, not just the same bytes.
+  ASSERT_EQ(parsed.graph.actor_count(), graph.actor_count()) << label;
+  ASSERT_EQ(parsed.constraints.size(), constraints.size()) << label;
+  const analysis::GraphAnalysis reparsed =
+      analysis::compute_buffer_capacities(parsed.graph, parsed.constraints);
+  ASSERT_TRUE(reparsed.admissible) << label;
+  EXPECT_EQ(reparsed.total_capacity, sized.total_capacity) << label;
+}
+
+TEST(TextRoundTrip, RandomChains) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    models::RandomChainSpec spec;
+    spec.seed = seed;
+    spec.length = 3 + seed % 4;
+    spec.source_constrained = seed % 2 == 0;
+    const models::SyntheticChain model = models::make_random_chain(spec);
+    expect_round_trip_identity(model.graph, {model.constraint},
+                               "chain seed " + std::to_string(seed));
+  }
+}
+
+TEST(TextRoundTrip, RandomForkJoins) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    models::RandomForkJoinSpec spec;
+    spec.seed = seed;
+    spec.stages = 1 + seed % 2;
+    spec.source_constrained = seed % 2 == 0;
+    const models::SyntheticChain model = models::make_random_fork_join(spec);
+    expect_round_trip_identity(model.graph, {model.constraint},
+                               "fork-join seed " + std::to_string(seed));
+  }
+}
+
+TEST(TextRoundTrip, RandomCyclics) {
+  // delta= lines carry the back-edge tokens through the round trip.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    models::RandomCyclicSpec spec;
+    spec.base.seed = seed;
+    const models::SyntheticChain model = models::make_random_cyclic(spec);
+    expect_round_trip_identity(model.graph, {model.constraint},
+                               "cyclic seed " + std::to_string(seed));
+  }
+}
+
+TEST(TextRoundTrip, RandomMultiSinks) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    models::RandomMultiSinkSpec spec;
+    spec.seed = seed;
+    spec.sinks = 2 + seed % 3;
+    const models::SyntheticMultiConstraint model =
+        models::make_random_multi_sink(spec);
+    expect_round_trip_identity(model.graph, model.constraints,
+                               "multi-sink seed " + std::to_string(seed));
+  }
+}
+
+TEST(TextRoundTrip, RandomInteriorPins) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    models::RandomInteriorPinSpec spec;
+    spec.seed = seed;
+    spec.upstream_length = 1 + seed % 3;
+    spec.downstream_length = 1 + (seed / 2) % 3;
+    const models::SyntheticChain model =
+        models::make_random_interior_pinned(spec);
+    expect_round_trip_identity(model.graph, {model.constraint},
+                               "interior seed " + std::to_string(seed));
+  }
+}
+
+TEST(TextRoundTrip, UnserializableActorNamesRejectedAtWriteTime) {
+  // A name with whitespace / '=' / '#' / "->" would tokenize wrong on
+  // reparse (or truncate as a comment); write_chain must throw, not emit
+  // a document that silently means something else.
+  const auto graph_with_name = [](const std::string& name) {
+    VrdfGraph g;
+    const ActorId a = g.add_actor(name, milliseconds(Rational(1)));
+    const ActorId b = g.add_actor("ok", milliseconds(Rational(1)));
+    (void)g.add_buffer(a, b, RateSet::singleton(1), RateSet::singleton(1));
+    return g;
+  };
+  for (const std::string bad :
+       {"two words", "tab\tname", "a=b", "->", "a#b", ""}) {
+    EXPECT_THROW(
+        (void)write_chain(graph_with_name(bad), analysis::ConstraintSet{}),
+        ContractError)
+        << "name: '" << bad << "'";
+  }
+  // Benign punctuation still serializes.
+  const std::string ok =
+      write_chain(graph_with_name("dsp.core-1"), analysis::ConstraintSet{});
+  EXPECT_NE(ok.find("dsp.core-1"), std::string::npos);
+  const ChainDocument parsed = read_chain(ok);
+  EXPECT_TRUE(parsed.graph.find_actor("dsp.core-1").has_value());
+}
+
+}  // namespace
+}  // namespace vrdf::io
