@@ -1,0 +1,163 @@
+#include "analysis/robustness.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace vrdf::analysis {
+
+using dataflow::ActorId;
+
+namespace {
+
+/// True when the analysis of `probe` is admissible and every pair fits
+/// the capacities installed in `probe` (only response times differ from
+/// the caller's graph, so these are the original installed capacities).
+[[nodiscard]] bool fits_installed(const dataflow::VrdfGraph& probe,
+                                  const ConstraintSet& constraints,
+                                  const AnalysisOptions& options) {
+  const GraphAnalysis analysis =
+      compute_buffer_capacities(probe, constraints, options);
+  if (!analysis.admissible) {
+    return false;
+  }
+  for (const PairAnalysis& pair : analysis.pairs) {
+    if (pair.capacity > probe.buffer_capacity(pair.buffer)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Largest k in [0, grid] such that predicate(k) holds, assuming the
+/// predicate is monotone (true at 0, and once false stays false) — the
+/// capacity of every pair is monotone nondecreasing in every ρ(v).
+template <typename Predicate>
+[[nodiscard]] std::int64_t max_true(std::int64_t grid, Predicate&& holds) {
+  if (holds(grid)) {
+    return grid;
+  }
+  std::int64_t lo = 0;  // known true (caller checks the baseline)
+  std::int64_t hi = grid;  // known false
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    (holds(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+RobustnessReport robustness_margins(const dataflow::VrdfGraph& graph,
+                                    const ConstraintSet& constraints,
+                                    const RobustnessOptions& options) {
+  VRDF_REQUIRE(options.grid_steps > 0, "margin grid needs at least one step");
+  RobustnessReport report;
+  report.constraints = constraints;
+
+  const GraphAnalysis baseline =
+      compute_buffer_capacities(graph, constraints, options.analysis);
+  if (!baseline.admissible) {
+    report.diagnostics = baseline.diagnostics;
+    report.diagnostics.push_back(
+        "robustness margins undefined: baseline analysis inadmissible");
+    return report;
+  }
+
+  // Buffer headroom, and the precondition for every margin below: the
+  // graph's installed capacities must cover the baseline requirement.
+  bool installed_ok = true;
+  report.buffers.reserve(baseline.pairs.size());
+  for (const PairAnalysis& pair : baseline.pairs) {
+    BufferHeadroom headroom;
+    headroom.buffer = pair.buffer;
+    headroom.producer = pair.producer;
+    headroom.consumer = pair.consumer;
+    headroom.required = pair.capacity;
+    headroom.installed = graph.buffer_capacity(pair.buffer);
+    headroom.headroom = headroom.installed - headroom.required;
+    if (headroom.headroom < 0) {
+      installed_ok = false;
+      std::ostringstream os;
+      os << "installed capacity of buffer "
+         << graph.actor(pair.producer).name << "->"
+         << graph.actor(pair.consumer).name << " (" << headroom.installed
+         << ") is below the analysed requirement (" << headroom.required
+         << ")";
+      report.diagnostics.push_back(os.str());
+    }
+    report.buffers.push_back(headroom);
+  }
+
+  const ResponseTimeBudget budget =
+      max_admissible_response_times(graph, constraints);
+  if (!budget.ok) {
+    report.diagnostics.insert(report.diagnostics.end(),
+                              budget.diagnostics.begin(),
+                              budget.diagnostics.end());
+    return report;
+  }
+  if (!installed_ok) {
+    // Report zero margins (honest: nothing extra is tolerable) but keep
+    // ok=false so callers do not inject "within-margin" faults.
+    for (std::size_t i = 0; i < budget.actors_in_order.size(); ++i) {
+      report.actors.push_back(ActorMargin{
+          budget.actors_in_order[i],
+          graph.actor(budget.actors_in_order[i]).response_time,
+          budget.max_response_times[i], Duration()});
+    }
+    return report;
+  }
+
+  const std::int64_t grid = options.grid_steps;
+  report.actors.reserve(budget.actors_in_order.size());
+  for (std::size_t i = 0; i < budget.actors_in_order.size(); ++i) {
+    const ActorId v = budget.actors_in_order[i];
+    ActorMargin margin;
+    margin.actor = v;
+    margin.response_time = graph.actor(v).response_time;
+    margin.max_response_time = budget.max_response_times[i];
+    const Duration slack = margin.max_response_time - margin.response_time;
+    if (slack.is_positive()) {
+      dataflow::VrdfGraph probe = graph;
+      const std::int64_t best = max_true(grid, [&](std::int64_t k) {
+        probe.set_response_time(
+            v, margin.response_time + slack * Rational(k, grid));
+        return fits_installed(probe, constraints, options.analysis);
+      });
+      margin.margin = slack * Rational(best, grid);
+    }
+    VRDF_LOG(Trace) << "robustness: actor '" << graph.actor(v).name
+                    << "' rho=" << margin.response_time.to_string()
+                    << " phi=" << margin.max_response_time.to_string()
+                    << " margin=" << margin.margin.to_string();
+    report.actors.push_back(margin);
+  }
+
+  // Per-actor margins hold the *other* actors at their declared ρ and do
+  // not compose; the joint fraction is what all actors may take at once.
+  const std::int64_t joint = max_true(grid, [&](std::int64_t k) {
+    dataflow::VrdfGraph probe = graph;
+    for (const ActorMargin& m : report.actors) {
+      const Duration slack = m.max_response_time - m.response_time;
+      if (slack.is_positive()) {
+        probe.set_response_time(m.actor,
+                                m.response_time + slack * Rational(k, grid));
+      }
+    }
+    return fits_installed(probe, constraints, options.analysis);
+  });
+  report.joint_safe_fraction = Rational(joint, grid);
+
+  report.ok = true;
+  return report;
+}
+
+RobustnessReport robustness_margins(const dataflow::VrdfGraph& graph,
+                                    const ThroughputConstraint& constraint,
+                                    const RobustnessOptions& options) {
+  return robustness_margins(graph, ConstraintSet{constraint}, options);
+}
+
+}  // namespace vrdf::analysis

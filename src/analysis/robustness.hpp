@@ -1,0 +1,100 @@
+// Analysis-derived robustness margins — how far the run time may stray
+// from the declared model before the installed buffer capacities stop
+// being sufficient.
+//
+// The buffer-sizing theorem is conditional: capacities computed for
+// response times ρ(v) are sufficient only while every firing of v
+// finishes within ρ(v).  This module turns that condition into
+// quantitative slack, against the capacities *installed in the graph*
+// (which may exceed the analysed minimum):
+//
+//  * per-actor margin — the largest extra response time δ such that
+//    re-analysing the graph with ρ(v)+δ (all other actors unchanged)
+//    still fits the installed capacities.  Any fault plan whose
+//    per-firing extra on v stays ≤ margin(v) provably keeps phase-2
+//    verification starvation-free — the faulted run is dominated by the
+//    self-timed run of the inflated model, which the installed
+//    capacities cover (monotonicity, Sec 3.2).
+//  * per-buffer headroom — installed capacity minus the analysed
+//    requirement, in containers.
+//  * joint safe fraction — per-actor margins do NOT compose (each is
+//    measured with the others at their declared ρ), so we also report
+//    the largest fraction f of its individual slack φ(v) − ρ(v) that
+//    *every* actor may consume simultaneously.
+//
+// Both searches exploit that computed capacities are monotone
+// nondecreasing in every ρ(v), so a binary search over a 64-step grid of
+// the slack finds the margin exactly to grid resolution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/buffer_sizing.hpp"
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::analysis {
+
+/// Tolerable response-time overrun of one actor, installed capacities and
+/// all other actors' declared ρ held fixed.
+struct ActorMargin {
+  dataflow::ActorId actor;
+  /// Declared worst-case response time ρ(v).
+  Duration response_time;
+  /// Maximal admissible response time φ(v) (max_admissible_response_times).
+  Duration max_response_time;
+  /// Largest grid-resolved extra δ with capacities(ρ(v)+δ) ≤ installed.
+  /// Zero when the actor has no slack (ρ = φ) or the baseline already
+  /// exactly fills the installed capacities.
+  Duration margin;
+};
+
+/// Installed-vs-required container count of one buffer.
+struct BufferHeadroom {
+  dataflow::BufferEdges buffer;
+  dataflow::ActorId producer;
+  dataflow::ActorId consumer;
+  /// Analysed capacity requirement at the declared response times.
+  std::int64_t required = 0;
+  /// Capacity actually installed in the graph.
+  std::int64_t installed = 0;
+  /// installed − required (never negative when the report is ok).
+  std::int64_t headroom = 0;
+};
+
+struct RobustnessOptions {
+  AnalysisOptions analysis;
+  /// Margin search resolution: margins are multiples of slack/grid_steps.
+  std::int64_t grid_steps = 64;
+};
+
+struct RobustnessReport {
+  /// True when the baseline analysis is admissible and the installed
+  /// capacities cover it; margins are only meaningful when true.
+  bool ok = false;
+  std::vector<std::string> diagnostics;
+  ConstraintSet constraints;
+  /// One entry per actor, in the analysis' topological order.
+  std::vector<ActorMargin> actors;
+  /// One entry per buffer, in the analysis' pair order.
+  std::vector<BufferHeadroom> buffers;
+  /// Largest fraction of its individual slack φ(v) − ρ(v) that every
+  /// actor may consume at once (grid-resolved, in [0, 1]).
+  Rational joint_safe_fraction;
+};
+
+/// Computes robustness margins of `graph` (which must already carry the
+/// installed capacities, e.g. via apply_capacities — possibly with extra
+/// headroom) against `constraints`.  Never throws on model-level
+/// infeasibility; inspect ok/diagnostics.
+[[nodiscard]] RobustnessReport robustness_margins(
+    const dataflow::VrdfGraph& graph, const ConstraintSet& constraints,
+    const RobustnessOptions& options = {});
+
+/// Single-constraint convenience overload.
+[[nodiscard]] RobustnessReport robustness_margins(
+    const dataflow::VrdfGraph& graph, const ThroughputConstraint& constraint,
+    const RobustnessOptions& options = {});
+
+}  // namespace vrdf::analysis

@@ -229,4 +229,11 @@ void VrdfGraph::set_initial_tokens(EdgeId id, std::int64_t tokens) {
   edges_[id.index()].initial_tokens = tokens;
 }
 
+void VrdfGraph::set_response_time(ActorId id, Duration response_time) {
+  VRDF_REQUIRE(topology_.contains(id), "actor id out of range");
+  VRDF_REQUIRE(response_time.is_positive(),
+               "actor response time must be positive");
+  actors_[id.index()].response_time = response_time;
+}
+
 }  // namespace vrdf::dataflow

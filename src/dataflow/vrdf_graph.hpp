@@ -96,6 +96,11 @@ public:
   /// Replaces δ(e); used to install computed buffer capacities.
   void set_initial_tokens(EdgeId id, std::int64_t tokens);
 
+  /// Replaces ρ(v) (must stay positive); used by what-if probes such as
+  /// the robustness-margin search, which re-analyses a copy of the graph
+  /// with one actor's response time inflated.
+  void set_response_time(ActorId id, Duration response_time);
+
   /// All buffers (each anti-parallel pair reported once, as it was added).
   [[nodiscard]] std::vector<BufferEdges> buffers() const { return buffers_; }
 

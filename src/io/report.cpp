@@ -4,6 +4,7 @@
 
 #include "analysis/deadlock.hpp"
 #include "analysis/period.hpp"
+#include "analysis/robustness.hpp"
 #include "io/table.hpp"
 #include "util/error.hpp"
 
@@ -135,6 +136,34 @@ std::string render_report(const dataflow::VrdfGraph& graph,
        << headroom.binding_constraint << "; exact feasibility infimum "
        << headroom.infimum_period.seconds().to_string() << " s, "
        << (headroom.infimum_attained ? "attained" : "open") << ").\n";
+  }
+
+  const analysis::RobustnessReport robustness =
+      analysis::robustness_margins(graph, constraints);
+  if (robustness.ok) {
+    os << "\n## Robustness margins\n\n"
+       << "Largest response-time overrun each task can sustain (installed"
+          " capacities and all other tasks held fixed):\n\n";
+    Table margins({"task", "rho (s)", "phi (s)", "tolerable overrun (s)"});
+    for (const analysis::ActorMargin& m : robustness.actors) {
+      margins.add_row({graph.actor(m.actor).name,
+                       m.response_time.seconds().to_string(),
+                       m.max_response_time.seconds().to_string(),
+                       m.margin.is_zero() ? "none"
+                                          : m.margin.seconds().to_string()});
+    }
+    os << margins.to_string() << '\n';
+    Table buffers({"buffer", "required", "installed", "headroom"});
+    for (const analysis::BufferHeadroom& b : robustness.buffers) {
+      buffers.add_row({graph.actor(b.producer).name + "->" +
+                           graph.actor(b.consumer).name,
+                       std::to_string(b.required), std::to_string(b.installed),
+                       std::to_string(b.headroom)});
+    }
+    os << buffers.to_string() << '\n';
+    os << "Jointly, every task may consume "
+       << robustness.joint_safe_fraction.to_string()
+       << " of its individual slack phi - rho at once.\n";
   }
   return os.str();
 }

@@ -161,4 +161,46 @@ std::string occupancy_to_vcd(const sim::Simulator& sim,
   return os.str();
 }
 
+std::string rho_violations_to_csv(const sim::MonitorReport& report,
+                                  const dataflow::VrdfGraph& graph) {
+  std::ostringstream os;
+  os << "actor,firing,declared_s,observed_s\n";
+  for (const sim::RhoViolation& v : report.rho_violations) {
+    os << graph.actor(v.actor).name << ',' << v.firing << ','
+       << v.declared.seconds().to_string() << ','
+       << v.observed.seconds().to_string() << '\n';
+  }
+  return os.str();
+}
+
+std::string conformance_to_csv(const sim::MonitorReport& report,
+                               const dataflow::VrdfGraph& graph) {
+  std::ostringstream os;
+  os << "actor,period_s,firings,late_firings,max_lateness_s\n";
+  for (const sim::ConstraintConformance& c : report.constraints) {
+    os << graph.actor(c.actor).name << ',' << c.period.seconds().to_string()
+       << ',' << c.firings_observed << ',' << c.late_firings << ','
+       << c.max_lateness.seconds().to_string() << '\n';
+  }
+  return os.str();
+}
+
+std::string margins_to_csv(const analysis::RobustnessReport& report,
+                           const dataflow::VrdfGraph& graph) {
+  std::ostringstream os;
+  os << "actor,rho_s,phi_s,margin_s\n";
+  for (const analysis::ActorMargin& m : report.actors) {
+    os << graph.actor(m.actor).name << ','
+       << m.response_time.seconds().to_string() << ','
+       << m.max_response_time.seconds().to_string() << ','
+       << m.margin.seconds().to_string() << '\n';
+  }
+  os << "buffer,required,installed,headroom\n";
+  for (const analysis::BufferHeadroom& b : report.buffers) {
+    os << graph.actor(b.producer).name << "->" << graph.actor(b.consumer).name
+       << ',' << b.required << ',' << b.installed << ',' << b.headroom << '\n';
+  }
+  return os.str();
+}
+
 }  // namespace vrdf::io

@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "analysis/robustness.hpp"
 #include "dataflow/vrdf_graph.hpp"
+#include "sim/monitor.hpp"
 #include "sim/simulator.hpp"
 
 namespace vrdf::io {
@@ -36,5 +38,21 @@ namespace vrdf::io {
 [[nodiscard]] std::string occupancy_to_vcd(
     const sim::Simulator& sim, const dataflow::VrdfGraph& graph,
     const std::vector<dataflow::EdgeId>& edges);
+
+/// "actor,firing,declared_s,observed_s" rows — one per recorded ρ-contract
+/// violation of a conformance monitor run.
+[[nodiscard]] std::string rho_violations_to_csv(
+    const sim::MonitorReport& report, const dataflow::VrdfGraph& graph);
+
+/// "actor,period_s,firings,late_firings,max_lateness_s" rows — one per
+/// monitored throughput constraint.
+[[nodiscard]] std::string conformance_to_csv(const sim::MonitorReport& report,
+                                             const dataflow::VrdfGraph& graph);
+
+/// "actor,rho_s,phi_s,margin_s" rows followed by
+/// "buffer,required,installed,headroom" rows — the analysis-derived
+/// robustness margins as machine-readable events.
+[[nodiscard]] std::string margins_to_csv(
+    const analysis::RobustnessReport& report, const dataflow::VrdfGraph& graph);
 
 }  // namespace vrdf::io

@@ -708,4 +708,80 @@ SyntheticChain make_sensor_acquisition() {
   return SyntheticChain{std::move(*scaled), constraint};
 }
 
+SyntheticModel make_random_model(const RandomModelSpec& spec) {
+  SyntheticModel model;
+  switch (spec.model_class) {
+    case ModelClass::Chain: {
+      RandomChainSpec chain;
+      chain.seed = spec.seed;
+      chain.response_fraction = spec.response_fraction;
+      chain.variable_percent = spec.variable_percent;
+      chain.zero_percent = spec.zero_percent;
+      SyntheticChain generated = make_random_chain(chain);
+      model.graph = std::move(generated.graph);
+      model.constraints = {generated.constraint};
+      break;
+    }
+    case ModelClass::ForkJoin: {
+      RandomForkJoinSpec fork_join;
+      fork_join.seed = spec.seed;
+      fork_join.response_fraction = spec.response_fraction;
+      fork_join.variable_percent = spec.variable_percent;
+      fork_join.zero_percent = spec.zero_percent;
+      SyntheticChain generated = make_random_fork_join(fork_join);
+      model.graph = std::move(generated.graph);
+      model.constraints = {generated.constraint};
+      break;
+    }
+    case ModelClass::Cyclic: {
+      RandomCyclicSpec cyclic;
+      cyclic.base.seed = spec.seed;
+      cyclic.base.response_fraction = spec.response_fraction;
+      cyclic.base.variable_percent = spec.variable_percent;
+      cyclic.base.zero_percent = spec.zero_percent;
+      SyntheticChain generated = make_random_cyclic(cyclic);
+      model.graph = std::move(generated.graph);
+      model.constraints = {generated.constraint};
+      break;
+    }
+    case ModelClass::MultiConstraint: {
+      RandomMultiSinkSpec multi;
+      multi.seed = spec.seed;
+      multi.response_fraction = spec.response_fraction;
+      multi.variable_percent = spec.variable_percent;
+      multi.zero_percent = spec.zero_percent;
+      SyntheticMultiConstraint generated = make_random_multi_sink(multi);
+      model.graph = std::move(generated.graph);
+      model.constraints = std::move(generated.constraints);
+      break;
+    }
+    case ModelClass::InteriorPinned: {
+      RandomInteriorPinSpec pin;
+      pin.seed = spec.seed;
+      pin.response_fraction = spec.response_fraction;
+      pin.variable_percent = spec.variable_percent;
+      pin.zero_percent = spec.zero_percent;
+      SyntheticChain generated = make_random_interior_pinned(pin);
+      model.graph = std::move(generated.graph);
+      model.constraints = {generated.constraint};
+      break;
+    }
+  }
+
+  const analysis::GraphAnalysis analysis =
+      analysis::compute_buffer_capacities(model.graph, model.constraints);
+  VRDF_REQUIRE(analysis.admissible,
+               "generated model must analyse admissibly by construction");
+  analysis::apply_capacities(model.graph, analysis);
+  if (spec.capacity_headroom > 0) {
+    for (const analysis::PairAnalysis& pair : analysis.pairs) {
+      const dataflow::EdgeId space = pair.buffer.space;
+      model.graph.set_initial_tokens(
+          space,
+          model.graph.edge(space).initial_tokens + spec.capacity_headroom);
+    }
+  }
+  return model;
+}
+
 }  // namespace vrdf::models

@@ -331,4 +331,42 @@ struct RandomInteriorPinSpec {
 [[nodiscard]] SyntheticChain make_random_interior_pinned(
     const RandomInteriorPinSpec& spec);
 
+/// The five structural classes the randomized robustness harness sweeps —
+/// one per generator above.
+enum class ModelClass {
+  Chain,            // make_random_chain
+  ForkJoin,         // make_random_fork_join
+  Cyclic,           // make_random_cyclic
+  MultiConstraint,  // make_random_multi_sink
+  InteriorPinned,   // make_random_interior_pinned
+};
+
+/// Uniform front-end over the five generators for parameter sweeps that
+/// only care about seed, slack and variability — every other knob stays
+/// at the per-generator default.
+struct RandomModelSpec {
+  ModelClass model_class = ModelClass::Chain;
+  std::uint64_t seed = 1;
+  /// ρ(v) = fraction · φ(v); below 1 leaves per-actor robustness slack
+  /// (the default halves every response time).
+  Rational response_fraction = Rational(1, 2);
+  int variable_percent = 50;
+  int zero_percent = 20;
+  /// Extra containers granted to every buffer beyond the analysed
+  /// capacity — per-buffer headroom for robustness experiments.
+  std::int64_t capacity_headroom = 0;
+};
+
+/// A generated graph that already carries its installed capacities,
+/// together with the constraint set they were computed for.
+struct SyntheticModel {
+  dataflow::VrdfGraph graph;
+  analysis::ConstraintSet constraints;
+};
+
+/// Generates a random admissible model of the requested class, computes
+/// its buffer capacities, installs them (plus `capacity_headroom` per
+/// buffer) and returns the ready-to-simulate graph.
+[[nodiscard]] SyntheticModel make_random_model(const RandomModelSpec& spec);
+
 }  // namespace vrdf::models

@@ -170,6 +170,9 @@ public:
         state.release_delays.emplace(index, clock_.from_rational(delay));
       }
       state.has_release_delays = !state.release_delays.empty();
+      for (const ResponseTimeFault& fault : cfg.faults) {
+        add_response_time_fault(id, fault);
+      }
       state.record = cfg.record;
       state.record_cap = cfg.record_cap;
     }
@@ -234,6 +237,13 @@ public:
         dst.release_delays.emplace(index, cv(delay));
       }
       dst.has_release_delays = src.has_release_delays;
+      dst.has_faults = src.has_faults;
+      dst.faults.reserve(src.faults.size());
+      for (const auto& f : src.faults) {
+        dst.faults.push_back(FaultEntry{cv(f.base), cv(f.step), f.rng_seed,
+                                        f.from, f.until, f.burst_length,
+                                        f.burst_period});
+      }
       dst.record = src.record;
       dst.record_cap = src.record_cap;
       dst.busy = src.busy;
@@ -326,6 +336,16 @@ public:
     apply_jitter(actors_[actor.index()], actor, min_fraction, seed_state);
   }
 
+  void add_response_time_fault(dataflow::ActorId actor,
+                               const ResponseTimeFault& fault) {
+    ActorState& state = actors_[actor.index()];
+    state.faults.push_back(FaultEntry{clock_.from_rational(fault.base.seconds()),
+                                      clock_.from_rational(fault.step.seconds()),
+                                      fault.rng_seed, fault.from, fault.until,
+                                      fault.burst_length, fault.burst_period});
+    state.has_faults = true;
+  }
+
   void record_firings(dataflow::ActorId actor, std::size_t max_records) {
     actors_[actor.index()].record = true;
     actors_[actor.index()].record_cap = max_records;
@@ -374,6 +394,7 @@ public:
       }
       if (heap_.empty()) {
         result.reason = StopReason::Deadlock;
+        collect_blocked_waits(result.blocked);
         break;
       }
       const Time next_time = heap_.front().time;
@@ -464,6 +485,18 @@ public:
   }
 
 private:
+  /// Clock-typed form of one ResponseTimeFault (see simulator.hpp for the
+  /// field semantics).
+  struct FaultEntry {
+    Time base{};
+    Time step{};
+    std::uint64_t rng_seed = 0;
+    std::int64_t from = 0;
+    std::int64_t until = 0;
+    std::int64_t burst_length = 0;
+    std::int64_t burst_period = 0;
+  };
+
   struct ActorState {
     // Static (per configuration).
     std::vector<Port> ports;
@@ -476,6 +509,8 @@ private:
     Time jitter_step{};
     std::uint64_t jitter_state = 0;
     Rational jitter_min_fraction;  // kept for exact clock conversion
+    bool has_faults = false;
+    std::vector<FaultEntry> faults;
     bool has_release_delays = false;
     std::unordered_map<std::int64_t, Time> release_delays;
     bool record = false;
@@ -749,8 +784,72 @@ private:
       const std::int64_t step = static_cast<std::int64_t>(z % 1025);
       rho = Clock::add(state.jitter_base, Clock::mul_int(state.jitter_step, step));
     }
+    if (state.has_faults) {
+      rho = Clock::add(rho, fault_extra(state));
+    }
     state.active_finish = Clock::add(now_, rho);
     push_event(state.active_finish, EventKind::FiringFinish, actor);
+  }
+
+  /// Injected extra duration for the firing just counted by start_firing
+  /// (index started − 1): the sum over the actor's fault entries whose
+  /// window and burst pattern cover it.  The random part is a *stateless*
+  /// hash of (rng_seed, firing index), so replay is exact regardless of
+  /// how the run is segmented across run() calls or clock conversions.
+  [[nodiscard]] Time fault_extra(const ActorState& state) const {
+    Time extra{};
+    const std::int64_t k = state.started - 1;
+    for (const FaultEntry& f : state.faults) {
+      if (k < f.from || k >= f.until) {
+        continue;
+      }
+      if (f.burst_period > 0 && (k - f.from) % f.burst_period >= f.burst_length) {
+        continue;
+      }
+      extra = Clock::add(extra, f.base);
+      if (!(f.step == Time{})) {
+        std::uint64_t z =
+            f.rng_seed + static_cast<std::uint64_t>(k) * 0x9E3779B97F4A7C15ULL;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        z ^= z >> 31;
+        extra = Clock::add(
+            extra, Clock::mul_int(f.step, static_cast<std::int64_t>(z % 1025)));
+      }
+    }
+    return extra;
+  }
+
+  /// At a deadlock (empty heap) no actor is busy and every actor has had
+  /// its quanta drawn by the final enabling pass, so each idle actor's
+  /// unsatisfied input edges are exactly known: record one BlockedWait per
+  /// missing input.  Reporting only — no draws, no mutation.
+  void collect_blocked_waits(std::vector<BlockedWait>& out) const {
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      const ActorState& state = actors_[i];
+      if (state.busy || !state.quanta_drawn) {
+        continue;
+      }
+      const dataflow::ActorId id(
+          static_cast<dataflow::ActorId::underlying_type>(i));
+      for (std::size_t p = 0; p < state.ports.size(); ++p) {
+        const Port& port = state.ports[p];
+        if (!port.in_edge.is_valid()) {
+          continue;
+        }
+        const std::int64_t needed = state.pending_quanta[p];
+        const std::int64_t available = edges_[port.in_edge.index()].tokens;
+        if (available >= needed) {
+          continue;
+        }
+        const dataflow::Edge& edge = graph_->edge(port.in_edge);
+        // Buffers add the data edge first, so the space half has the
+        // larger id of the pair.
+        const bool space = edge.paired.is_valid() &&
+                           edge.paired.value() < port.in_edge.value();
+        out.push_back(BlockedWait{id, port.in_edge, needed, available, space});
+      }
+    }
   }
 
   void finish_firing(dataflow::ActorId actor, ActorState& state) {

@@ -1,0 +1,182 @@
+#include "sim/fault_injection.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vrdf::sim {
+
+namespace {
+
+constexpr std::int64_t kNoEnd = std::numeric_limits<std::int64_t>::max();
+
+[[nodiscard]] std::int64_t window_end(std::int64_t from, std::int64_t firings) {
+  if (firings < 0) {
+    return kNoEnd;
+  }
+  return from > kNoEnd - firings ? kNoEnd : from + firings;
+}
+
+/// Per-spec hash seed: independent streams per (plan seed, actor, spec
+/// position) so composed faults never correlate.
+[[nodiscard]] std::uint64_t spec_seed(std::uint64_t plan_seed,
+                                      dataflow::ActorId actor,
+                                      std::size_t spec_index) {
+  std::uint64_t z = plan_seed * 0x9E3779B97F4A7C15ULL +
+                    (static_cast<std::uint64_t>(actor.value()) << 32) +
+                    spec_index + 1;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::rho_overrun(dataflow::ActorId actor, Duration extra,
+                                  Rational factor, std::int64_t from_firing,
+                                  std::int64_t firings) {
+  VRDF_REQUIRE(actor.is_valid(), "fault actor must be valid");
+  VRDF_REQUIRE(!extra.is_negative(), "overrun extra must be non-negative");
+  VRDF_REQUIRE(factor >= Rational(1), "overrun factor must be >= 1");
+  VRDF_REQUIRE(from_firing >= 0, "fault window start must be non-negative");
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::RhoOverrun;
+  spec.actor = actor;
+  spec.extra = extra;
+  spec.factor = factor;
+  spec.from_firing = from_firing;
+  spec.firings = firings;
+  specs_.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::transient_stall(dataflow::ActorId actor,
+                                      std::int64_t at_firing, Duration outage) {
+  VRDF_REQUIRE(actor.is_valid(), "fault actor must be valid");
+  VRDF_REQUIRE(at_firing >= 0, "stalled firing index must be non-negative");
+  VRDF_REQUIRE(outage.is_positive(), "stall outage must be positive");
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::TransientStall;
+  spec.actor = actor;
+  spec.extra = outage;
+  spec.from_firing = at_firing;
+  spec.firings = 1;
+  specs_.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::bursty_jitter(dataflow::ActorId actor, Duration max_extra,
+                                    std::int64_t burst_length,
+                                    std::int64_t burst_period,
+                                    std::int64_t from_firing,
+                                    std::int64_t firings) {
+  VRDF_REQUIRE(actor.is_valid(), "fault actor must be valid");
+  VRDF_REQUIRE(max_extra.is_positive(), "jitter maximum must be positive");
+  VRDF_REQUIRE(burst_period > 0 && burst_length > 0 &&
+                   burst_length <= burst_period,
+               "burst pattern must satisfy 0 < length <= period");
+  VRDF_REQUIRE(from_firing >= 0, "fault window start must be non-negative");
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::BurstyJitter;
+  spec.actor = actor;
+  spec.extra = max_extra;
+  spec.from_firing = from_firing;
+  spec.firings = firings;
+  spec.burst_length = burst_length;
+  spec.burst_period = burst_period;
+  specs_.push_back(spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::source_dropout(dataflow::ActorId actor, Duration outage,
+                                     std::int64_t every_firings,
+                                     std::int64_t from_firing) {
+  VRDF_REQUIRE(actor.is_valid(), "fault actor must be valid");
+  VRDF_REQUIRE(outage.is_positive(), "drop-out outage must be positive");
+  VRDF_REQUIRE(every_firings > 0, "drop-out spacing must be positive");
+  VRDF_REQUIRE(from_firing >= 0, "fault window start must be non-negative");
+  FaultSpec spec;
+  spec.kind = FaultSpec::Kind::SourceDropout;
+  spec.actor = actor;
+  spec.extra = outage;
+  spec.from_firing = from_firing;
+  spec.firings = -1;
+  spec.burst_length = 1;
+  spec.burst_period = every_firings;
+  specs_.push_back(spec);
+  return *this;
+}
+
+void FaultPlan::apply(Simulator& sim) const {
+  const dataflow::VrdfGraph& graph = sim.graph();
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& spec = specs_[i];
+    VRDF_REQUIRE(spec.actor.index() < graph.actor_count(),
+                 "fault actor does not exist in the simulated graph");
+    ResponseTimeFault fault;
+    fault.from = spec.from_firing;
+    fault.until = window_end(spec.from_firing, spec.firings);
+    switch (spec.kind) {
+      case FaultSpec::Kind::RhoOverrun:
+        // ρ·factor + extra  ==  ρ + (factor − 1)·ρ + extra, folded into
+        // one additive constant the tick scale can represent.
+        fault.base = spec.extra + graph.actor(spec.actor).response_time *
+                                      (spec.factor - Rational(1));
+        break;
+      case FaultSpec::Kind::TransientStall:
+        fault.base = spec.extra;
+        break;
+      case FaultSpec::Kind::BurstyJitter:
+        fault.step = spec.extra / Rational(1024);
+        fault.rng_seed = spec_seed(seed_, spec.actor, i);
+        fault.burst_length = spec.burst_length;
+        fault.burst_period = spec.burst_period;
+        break;
+      case FaultSpec::Kind::SourceDropout:
+        fault.base = spec.extra;
+        fault.burst_length = spec.burst_length;
+        fault.burst_period = spec.burst_period;
+        break;
+    }
+    if (fault.base.is_zero() && fault.step.is_zero()) {
+      continue;  // a zero-extra overrun is a no-op
+    }
+    sim.add_response_time_fault(spec.actor, fault);
+  }
+}
+
+std::string FaultPlan::describe(const dataflow::VrdfGraph& graph) const {
+  std::ostringstream os;
+  os << "fault plan (seed " << seed_ << ")";
+  for (const FaultSpec& spec : specs_) {
+    os << "\n  ";
+    const std::string& name = graph.actor(spec.actor).name;
+    switch (spec.kind) {
+      case FaultSpec::Kind::RhoOverrun:
+        os << "rho_overrun on '" << name << "': rho*"
+           << spec.factor.to_string() << " + " << spec.extra.to_string()
+           << " from firing " << spec.from_firing;
+        if (spec.firings >= 0) {
+          os << " for " << spec.firings << " firings";
+        }
+        break;
+      case FaultSpec::Kind::TransientStall:
+        os << "transient_stall on '" << name << "': firing "
+           << spec.from_firing << " frozen for " << spec.extra.to_string();
+        break;
+      case FaultSpec::Kind::BurstyJitter:
+        os << "bursty_jitter on '" << name << "': up to "
+           << spec.extra.to_string() << " on " << spec.burst_length
+           << " of every " << spec.burst_period << " firings";
+        break;
+      case FaultSpec::Kind::SourceDropout:
+        os << "source_dropout on '" << name << "': " << spec.extra.to_string()
+           << " outage every " << spec.burst_period << " firings";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace vrdf::sim

@@ -63,4 +63,60 @@ TemporalBehaviourReport check_monotonic_linear(
   return report;
 }
 
+TemporalBehaviourReport check_fault_monotonic_linear(
+    const dataflow::VrdfGraph& graph, const FaultPlan& lighter,
+    const FaultPlan& heavier, Duration max_extra, TimePoint horizon,
+    const SimulatorConfigurer& configure, std::uint64_t default_seed) {
+  TemporalBehaviourReport report;
+
+  const auto run_once = [&](const FaultPlan& plan) {
+    auto sim = std::make_unique<Simulator>(graph);
+    if (configure) {
+      configure(*sim);
+    }
+    sim->set_default_sources(default_seed);
+    for (const dataflow::ActorId a : graph.actors()) {
+      sim->record_firings(a);
+    }
+    plan.apply(*sim);
+    StopCondition stop;
+    stop.until_time = horizon;
+    (void)sim->run(stop);
+    return sim;
+  };
+
+  const auto light = run_once(lighter);
+  const auto heavy = run_once(heavier);
+
+  report.monotonic = true;
+  report.linear = true;
+  std::ostringstream detail;
+  for (const dataflow::ActorId a : graph.actors()) {
+    const auto& base = light->firings(a);
+    const auto& del = heavy->firings(a);
+    const std::size_t common = std::min(base.size(), del.size());
+    for (std::size_t k = 0; k < common; ++k) {
+      if (del[k].start < base[k].start) {
+        report.monotonic = false;
+        detail << "actor '" << graph.actor(a).name << "' firing " << k
+               << " started earlier under the heavier plan ("
+               << del[k].start.seconds().to_string() << " < "
+               << base[k].start.seconds().to_string() << "); ";
+      }
+      if (del[k].start - base[k].start > max_extra) {
+        report.linear = false;
+        detail << "actor '" << graph.actor(a).name << "' firing " << k
+               << " delayed by more than the plans' extra delta ("
+               << (del[k].start - base[k].start).seconds().to_string() << " > "
+               << max_extra.seconds().to_string() << "); ";
+      }
+    }
+  }
+  report.detail = detail.str();
+  if (report.detail.empty()) {
+    report.detail = "all start times within [lighter, lighter + delta]";
+  }
+  return report;
+}
+
 }  // namespace vrdf::sim

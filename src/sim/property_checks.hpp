@@ -15,6 +15,7 @@
 #include <string>
 
 #include "dataflow/vrdf_graph.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/verify.hpp"
 
 namespace vrdf::sim {
@@ -32,6 +33,20 @@ struct TemporalBehaviourReport {
 [[nodiscard]] TemporalBehaviourReport check_monotonic_linear(
     const dataflow::VrdfGraph& graph, dataflow::ActorId delayed_actor,
     std::int64_t firing_index, Duration delay, TimePoint horizon,
+    const SimulatorConfigurer& configure = {}, std::uint64_t default_seed = 1);
+
+/// Fault-plan generalisation of check_monotonic_linear: runs the graph
+/// self-timed under `lighter` and under `heavier` (with identical quantum
+/// sequences) and checks that the heavier plan's start times stay within
+/// [lighter, lighter + max_extra] for every firing of every actor over
+/// the common prefix.  `max_extra` must bound the extra duration the
+/// heavier plan injects beyond the lighter one on any single firing;
+/// `lighter` may be an empty plan (pure baseline).  Note a per-every-
+/// firing overrun accumulates across firings — linearity in Δ only holds
+/// for single-firing faults such as FaultPlan::transient_stall.
+[[nodiscard]] TemporalBehaviourReport check_fault_monotonic_linear(
+    const dataflow::VrdfGraph& graph, const FaultPlan& lighter,
+    const FaultPlan& heavier, Duration max_extra, TimePoint horizon,
     const SimulatorConfigurer& configure = {}, std::uint64_t default_seed = 1);
 
 }  // namespace vrdf::sim

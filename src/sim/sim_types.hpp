@@ -106,11 +106,33 @@ struct ActorMetrics {
   std::optional<Duration> max_lateness_vs_period;
 };
 
+/// One unsatisfied token demand of an idle actor at a deadlock: the
+/// actor's next firing needs `needed` tokens on `edge` but only
+/// `available` are present.  The set of these waits is the wait-for
+/// relation the stall watchdog (sim/monitor.hpp) walks to name the
+/// blocked cycle.
+struct BlockedWait {
+  /// The waiting actor (the edge's consumer).
+  dataflow::ActorId actor;
+  /// The edge whose tokens are missing.
+  dataflow::EdgeId edge;
+  /// The firing's pending consumption quantum on that edge.
+  std::int64_t needed = 0;
+  /// Tokens currently on the edge (< needed).
+  std::int64_t available = 0;
+  /// True when `edge` is the space half of a buffer: the actor waits for
+  /// free containers (back-pressure), not for data.
+  bool waiting_for_space = false;
+};
+
 struct RunResult {
   StopReason reason = StopReason::ReachedTimeLimit;
   TimePoint end_time;
   std::int64_t total_firings = 0;
   std::vector<Starvation> starvations;
+  /// Populated on every deadlocked run: one entry per missing input of
+  /// each permanently blocked actor (empty for other stop reasons).
+  std::vector<BlockedWait> blocked;
   [[nodiscard]] bool deadlocked() const { return reason == StopReason::Deadlock; }
 };
 

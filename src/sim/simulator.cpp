@@ -227,6 +227,26 @@ void Simulator::set_response_time_jitter(ActorId actor, std::uint64_t seed,
   cfg.jitter_min_fraction = min_fraction;
 }
 
+void Simulator::add_response_time_fault(ActorId actor,
+                                        const ResponseTimeFault& fault) {
+  check_actor(actor);
+  VRDF_REQUIRE(!fault.base.is_negative() && !fault.step.is_negative(),
+               "fault base/step must be non-negative");
+  VRDF_REQUIRE(fault.from >= 0 && fault.from <= fault.until,
+               "fault firing window must be non-negative and ordered");
+  VRDF_REQUIRE(fault.burst_period >= 0 && fault.burst_length >= 0 &&
+                   fault.burst_length <= fault.burst_period,
+               "fault burst pattern must satisfy 0 <= length <= period");
+  if (tick_ != nullptr && !(tick_->clock().scale.fits(fault.base.seconds()) &&
+                            tick_->clock().scale.fits(fault.step.seconds()))) {
+    fall_back_to_rational("fault grid not representable at the tick scale");
+  }
+  if (forward_config([&](auto& e) { e.add_response_time_fault(actor, fault); })) {
+    return;
+  }
+  config_.actors[actor.index()].faults.push_back(fault);
+}
+
 void Simulator::record_firings(ActorId actor, std::size_t max_records) {
   check_actor(actor);
   if (forward_config([&](auto& e) { e.record_firings(actor, max_records); })) {
@@ -272,6 +292,10 @@ std::optional<TimeScale> Simulator::compute_scale(
             graph_.actor(id).response_time.seconds(), cfg.jitter_min_fraction);
         fold(grid.base);
         fold(grid.step);
+      }
+      for (const ResponseTimeFault& fault : cfg.faults) {
+        fold(fault.base.seconds());
+        fold(fault.step.seconds());
       }
     }
     if (stop.until_time.has_value()) {

@@ -30,6 +30,7 @@
 // consumed" (Sec 3.3).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -58,6 +59,30 @@ struct EdgeTransfer {
   TimePoint time;
 };
 
+/// One compiled response-time perturbation of one actor — the low-level
+/// form every fault kind of sim/fault_injection.hpp lowers to.  On each
+/// affected firing k (from <= k < until and, when burst_period > 0, with
+/// (k − from) mod burst_period < burst_length) the firing's duration
+/// becomes ρ + base + step·u_k, where u_k ∈ [0, 1024] is a stateless
+/// splitmix64 hash of (rng_seed, k) — replayable regardless of run
+/// segmentation, and exactly representable by a tick clock because every
+/// grid point is base + step·integer (the same trick as the jitter grid).
+struct ResponseTimeFault {
+  /// Additive extra duration per affected firing (>= 0).
+  Duration base;
+  /// Grid step of the random extra (zero disables the random part).
+  Duration step;
+  /// Seed of the per-firing hash (only read when step > 0).
+  std::uint64_t rng_seed = 0;
+  /// Affected firing window [from, until) in 0-based firing indices.
+  std::int64_t from = 0;
+  std::int64_t until = std::numeric_limits<std::int64_t>::max();
+  /// Burst pattern within the window: the first `burst_length` of every
+  /// `burst_period` firings are affected; 0/0 affects every firing.
+  std::int64_t burst_length = 0;
+  std::int64_t burst_period = 0;
+};
+
 namespace detail {
 
 /// Staged per-port configuration (before the engine is instantiated).
@@ -80,6 +105,7 @@ struct ActorConfig {
   bool jitter_enabled = false;
   std::uint64_t jitter_seed_state = 0;
   Rational jitter_min_fraction;
+  std::vector<ResponseTimeFault> faults;
   bool record = false;
   std::size_t record_cap = 0;
 };
@@ -152,6 +178,18 @@ public:
   /// claim end to end.  min_fraction must be in (0, 1].
   void set_response_time_jitter(dataflow::ActorId actor, std::uint64_t seed,
                                 Rational min_fraction);
+
+  /// Low-level fault-injection hook: appends one response-time
+  /// perturbation to `actor` — affected firings take ρ + extra instead of
+  /// ρ, i.e. the actor *violates* its declared worst case (unlike jitter,
+  /// which stays within it).  Faults on one actor compose additively per
+  /// firing.  The friendly, seeded front-end is sim::FaultPlan
+  /// (sim/fault_injection.hpp).  base/step must be non-negative.
+  void add_response_time_fault(dataflow::ActorId actor,
+                               const ResponseTimeFault& fault);
+
+  /// The graph this simulator was built from.
+  [[nodiscard]] const dataflow::VrdfGraph& graph() const { return graph_; }
 
   /// Enables per-firing records for an actor (capped at `max_records`).
   void record_firings(dataflow::ActorId actor, std::size_t max_records = 1 << 20);

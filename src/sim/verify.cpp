@@ -64,6 +64,9 @@ VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
        << (run1.deadlocked() ? "deadlock" : "budget/time limit") << " at t="
        << run1.end_time.seconds().to_string() << " s after "
        << run1.total_firings << " firings";
+    if (run1.deadlocked()) {
+      os << "; " << diagnose_blockage(graph, run1.blocked).message;
+    }
     result.detail = os.str();
     return result;
   }
@@ -109,18 +112,66 @@ VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
   result.offset_used = offsets.front();
 
   // Phase 2: enforce every constrained actor's periodic schedule at its
-  // measured offset, simultaneously.
-  Simulator phase2(graph);
-  if (configure) {
-    configure(phase2);
+  // measured offset, simultaneously.  With a constraint *set* the
+  // independently measured offsets are only a heuristic relative
+  // alignment: enforcing one grid delays the others' supplies through
+  // back-pressure, so a sufficient capacity set can still starve at the
+  // first alignment tried.  A throughput constraint fixes the period, not
+  // the offset — so on starvation each starving grid is shifted by its
+  // observed lateness and the phase is re-run (bounded retries).  This
+  // cannot mask genuine insufficiency: buffers bound the head start a
+  // later grid can accumulate to their capacity, so a rate-deficient
+  // system starves again within ~capacity tokens no matter the offset.
+  RunResult run2;
+  const int max_attempts = constraints.size() > 1 ? 5 : 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Simulator phase2(graph);
+    if (configure) {
+      configure(phase2);
+    }
+    phase2.set_default_sources(options.default_seed);
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      phase2.set_actor_mode(
+          constraints[c].actor,
+          ActorMode::strictly_periodic(offsets[c], constraints[c].period));
+    }
+    std::optional<ConformanceMonitor> monitor;
+    if (options.monitor) {
+      monitor.emplace(graph, constraints);
+      monitor->attach(phase2);
+    }
+    run2 = phase2.run(stop);
+    if (monitor.has_value()) {
+      monitor->observe(phase2, run2);
+      result.monitor = monitor->report();
+    }
+    if (run2.starvations.empty() ||
+        run2.reason != StopReason::ReachedFiringTarget ||
+        attempt + 1 == max_attempts) {
+      break;
+    }
+    bool shifted = false;
+    for (std::size_t c = 0; c < constraints.size(); ++c) {
+      Duration worst;
+      for (const Starvation& starvation : run2.starvations) {
+        if (starvation.actor != constraints[c].actor) {
+          continue;
+        }
+        const TimePoint started = starvation.actual_start.has_value()
+                                      ? *starvation.actual_start
+                                      : run2.end_time;
+        worst = std::max(worst, started - starvation.scheduled);
+      }
+      if (worst.is_positive()) {
+        offsets[c] = offsets[c] + worst;
+        shifted = true;
+      }
+    }
+    if (!shifted) {
+      break;
+    }
   }
-  phase2.set_default_sources(options.default_seed);
-  for (std::size_t c = 0; c < constraints.size(); ++c) {
-    phase2.set_actor_mode(
-        constraints[c].actor,
-        ActorMode::strictly_periodic(offsets[c], constraints[c].period));
-  }
-  const RunResult run2 = phase2.run(stop);
+  result.offset_used = offsets.front();
   result.starvation_count = static_cast<std::int64_t>(run2.starvations.size());
   if (run2.reason != StopReason::ReachedFiringTarget) {
     std::ostringstream os;
@@ -128,14 +179,19 @@ VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
        << (run2.deadlocked() ? "deadlock" : "budget/time limit") << " after "
        << run2.total_firings << " firings, " << result.starvation_count
        << " starvations";
+    if (run2.deadlocked()) {
+      os << "; " << diagnose_blockage(graph, run2.blocked).message;
+    }
     result.detail = os.str();
     return result;
   }
   if (result.starvation_count != 0) {
+    const Starvation& first = run2.starvations.front();
     std::ostringstream os;
-    os << result.starvation_count << " starved activations; first at t="
-       << run2.starvations.front().scheduled.seconds().to_string()
-       << " s (firing " << run2.starvations.front().firing << ")";
+    os << result.starvation_count << " starved activations; first on '"
+       << graph.actor(first.actor).name << "' at t="
+       << first.scheduled.seconds().to_string() << " s (firing "
+       << first.firing << ")";
     result.detail = os.str();
     return result;
   }

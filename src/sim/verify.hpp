@@ -17,10 +17,12 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
+#include "sim/monitor.hpp"
 #include "sim/simulator.hpp"
 
 namespace vrdf::sim {
@@ -35,6 +37,11 @@ struct VerifyOptions {
   std::int64_t observe_firings = 1000;
   /// Seed for set_default_sources (ports the configurer leaves open).
   std::uint64_t default_seed = 1;
+  /// Attach a ConformanceMonitor to phase 2 and return its report in
+  /// VerifyResult::monitor (ρ-contract violations, per-constraint
+  /// lateness, blockage diagnosis).  Off by default: monitoring records
+  /// every actor's firings, which costs memory on long runs.
+  bool monitor = false;
 };
 
 struct VerifyResult {
@@ -47,6 +54,8 @@ struct VerifyResult {
   /// Phase-1 maximum lateness of the constrained actor versus the periodic
   /// reference anchored at its first start.
   Duration max_lateness_phase1;
+  /// Phase-2 conformance report when VerifyOptions::monitor is set.
+  std::optional<MonitorReport> monitor;
 };
 
 /// Runs the two-phase check.  `graph` must already carry the capacities

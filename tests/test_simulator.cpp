@@ -86,6 +86,48 @@ TEST(Simulator, DeadlockDetectedWhenCapacityTooSmall) {
   EXPECT_EQ(result.total_firings, 0);
 }
 
+TEST(Simulator, DeadlockReportsBlockedWaits) {
+  // Same deadlock as above: the producer waits for 3 free containers on a
+  // capacity-2 buffer, the consumer waits for 3 tokens that never come.
+  TwoActorFixture f = make_pair(3, 3, 2, kMs, kMs);
+  Simulator sim(f.graph);
+  sim.set_default_sources(1);
+  StopCondition stop;
+  stop.until_time = TimePoint(Rational(1));
+  const RunResult result = sim.run(stop);
+  ASSERT_TRUE(result.deadlocked());
+  ASSERT_EQ(result.blocked.size(), 2u);
+
+  const BlockedWait* producer_wait = nullptr;
+  const BlockedWait* consumer_wait = nullptr;
+  for (const BlockedWait& wait : result.blocked) {
+    (wait.actor == f.producer ? producer_wait : consumer_wait) = &wait;
+  }
+  ASSERT_NE(producer_wait, nullptr);
+  ASSERT_NE(consumer_wait, nullptr);
+
+  EXPECT_EQ(producer_wait->edge, f.buffer.space);
+  EXPECT_TRUE(producer_wait->waiting_for_space);
+  EXPECT_EQ(producer_wait->needed, 3);
+  EXPECT_EQ(producer_wait->available, 2);
+
+  EXPECT_EQ(consumer_wait->edge, f.buffer.data);
+  EXPECT_FALSE(consumer_wait->waiting_for_space);
+  EXPECT_EQ(consumer_wait->needed, 3);
+  EXPECT_EQ(consumer_wait->available, 0);
+}
+
+TEST(Simulator, BlockedWaitsEmptyWithoutDeadlock) {
+  TwoActorFixture f = make_pair(2, 2, 2, kMs, kMs);
+  Simulator sim(f.graph);
+  sim.set_default_sources(1);
+  StopCondition stop;
+  stop.until_time = TimePoint(Rational(1, 100));
+  const RunResult result = sim.run(stop);
+  EXPECT_NE(result.reason, StopReason::Deadlock);
+  EXPECT_TRUE(result.blocked.empty());
+}
+
 TEST(Simulator, Fig1MinimalCapacities) {
   // The introduction's observation, replayed in simulation: with n ≡ 3 a
   // capacity of 3 suffices, with n ≡ 2 it deadlocks and 4 is needed.

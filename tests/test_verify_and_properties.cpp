@@ -127,6 +127,96 @@ TEST_P(TemporalProperties, RandomChainsAreMonotonicAndLinear) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TemporalProperties,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
+TEST_P(TemporalProperties, RandomCyclicGraphsAreMonotonicAndLinear) {
+  models::RandomCyclicSpec spec;
+  spec.base.seed = GetParam();
+  spec.base.response_fraction = Rational(1, 2);
+  models::SyntheticChain model = models::make_random_cyclic(spec);
+  const GraphAnalysis analysis =
+      analysis::compute_buffer_capacities(model.graph, model.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  analysis::apply_capacities(model.graph, analysis);
+
+  // Delay firing 3 of the data source by half a period; back-edges must
+  // propagate the delay without amplifying it (Defs 1 and 2 hold for
+  // cyclic graphs too — the sufficiency argument relies on it).
+  const auto report = sim::check_monotonic_linear(
+      model.graph, analysis.actors_in_order.front(), 3,
+      model.constraint.period * Rational(1, 2),
+      TimePoint() + model.constraint.period * Rational(200), {}, GetParam());
+  EXPECT_TRUE(report.monotonic) << report.detail;
+  EXPECT_TRUE(report.linear) << report.detail;
+}
+
+TEST_P(TemporalProperties, RandomInteriorPinnedChainsAreMonotonicAndLinear) {
+  models::RandomInteriorPinSpec spec;
+  spec.seed = GetParam();
+  spec.response_fraction = Rational(1, 2);
+  models::SyntheticChain model = models::make_random_interior_pinned(spec);
+  const GraphAnalysis analysis =
+      analysis::compute_buffer_capacities(model.graph, model.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  analysis::apply_capacities(model.graph, analysis);
+
+  // Delay an actor upstream of the pin: the delay must reach the pin's
+  // downstream cone monotonically and stay bounded by the injected Δ.
+  const auto report = sim::check_monotonic_linear(
+      model.graph, analysis.actors_in_order.front(), 3,
+      model.constraint.period * Rational(1, 2),
+      TimePoint() + model.constraint.period * Rational(200), {}, GetParam());
+  EXPECT_TRUE(report.monotonic) << report.detail;
+  EXPECT_TRUE(report.linear) << report.detail;
+}
+
+TEST_P(TemporalProperties, FaultedCyclicLatenessIsMonotoneAndLinearInDelta) {
+  models::RandomCyclicSpec spec;
+  spec.base.seed = GetParam();
+  spec.base.response_fraction = Rational(1, 2);
+  models::SyntheticChain model = models::make_random_cyclic(spec);
+  const GraphAnalysis analysis =
+      analysis::compute_buffer_capacities(model.graph, model.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  analysis::apply_capacities(model.graph, analysis);
+
+  // Injected Δ via the fault layer instead of a release delay: a
+  // transient stall of Δ vs 2Δ on the source.  Start times must move
+  // monotonically and by at most the extra Δ.
+  const Duration delta = model.constraint.period * Rational(1, 2);
+  const TimePoint horizon =
+      TimePoint() + model.constraint.period * Rational(200);
+  sim::FaultPlan light;
+  light.transient_stall(analysis.actors_in_order.front(), 3, delta);
+  sim::FaultPlan heavy;
+  heavy.transient_stall(analysis.actors_in_order.front(), 3,
+                        delta * Rational(2));
+  const auto report = sim::check_fault_monotonic_linear(
+      model.graph, light, heavy, delta, horizon, {}, GetParam());
+  EXPECT_TRUE(report.monotonic) << report.detail;
+  EXPECT_TRUE(report.linear) << report.detail;
+}
+
+TEST_P(TemporalProperties, FaultedInteriorPinLatenessIsMonotoneAndLinear) {
+  models::RandomInteriorPinSpec spec;
+  spec.seed = GetParam();
+  spec.response_fraction = Rational(1, 2);
+  models::SyntheticChain model = models::make_random_interior_pinned(spec);
+  const GraphAnalysis analysis =
+      analysis::compute_buffer_capacities(model.graph, model.constraint);
+  ASSERT_TRUE(analysis.admissible);
+  analysis::apply_capacities(model.graph, analysis);
+
+  const Duration delta = model.constraint.period * Rational(1, 2);
+  const TimePoint horizon =
+      TimePoint() + model.constraint.period * Rational(200);
+  sim::FaultPlan none;
+  sim::FaultPlan stalled;
+  stalled.transient_stall(analysis.actors_in_order.front(), 3, delta);
+  const auto report = sim::check_fault_monotonic_linear(
+      model.graph, none, stalled, delta, horizon, {}, GetParam());
+  EXPECT_TRUE(report.monotonic) << report.detail;
+  EXPECT_TRUE(report.linear) << report.detail;
+}
+
 TEST(LinearBounds, EvaluationIsAffine) {
   const analysis::LinearBound bound(milliseconds(Rational(5)),
                                     milliseconds(Rational(2)));
