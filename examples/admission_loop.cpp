@@ -1,0 +1,91 @@
+// Admission-control service loop (PR 7): the MP3 player of Sec 5 run as
+// a long-lived service that answers run-time capacity questions without
+// re-running the full analysis.
+//
+// The TopologySnapshot is captured once; every question — may the
+// decoder move to a slower core? may a second stream start at the
+// sample-rate converter? may the DAC clock change? — is answered by the
+// AdmissionController as an incremental what-if: apply, read
+// admissibility, roll back on rejection.  Rejections name the binding
+// constraint (the diagnostic that blocked the change); acceptances
+// report the buffer-capacity delta the change costs or releases.
+#include <iostream>
+
+#include "analysis/admission.hpp"
+#include "analysis/snapshot.hpp"
+#include "io/report.hpp"
+#include "models/mp3.hpp"
+
+int main() {
+  using namespace vrdf;
+
+  const models::Mp3Playback app = models::make_mp3_playback();
+  const analysis::TopologySnapshot snapshot(app.graph);
+  analysis::AdmissionController controller(
+      snapshot, analysis::ConstraintSet{app.constraint});
+
+  const auto show = [](const char* question,
+                       const analysis::AdmissionDecision& decision) {
+    std::cout << question << "\n  -> "
+              << (decision.accepted ? "ACCEPTED" : "REJECTED");
+    if (decision.accepted) {
+      std::cout << " (capacity delta " << decision.capacity_delta
+                << " containers, total " << decision.total_capacity << ")";
+    } else {
+      std::cout << " (binding: " << decision.binding_constraint << ")";
+    }
+    std::cout << "\n\n";
+  };
+
+  // 1. The decoder is moved to a slower core: ρ(vMP3) doubles.  The
+  //    paper's response times are maximal, so this must be rejected —
+  //    and the rejection names the violated pacing budget.
+  const Duration rho_mp3 = app.graph.actor(app.mp3).response_time;
+  show("May vMP3 run with doubled response time?",
+       controller.retune(app.mp3, Duration(rho_mp3.seconds() * Rational(2))));
+
+  // 2. A faster core instead: ρ(vMP3) halves.  Accepted, and the tighter
+  //    schedule releases buffer containers.
+  show("May vMP3 run with halved response time?",
+       controller.retune(app.mp3,
+                         Duration(rho_mp3.seconds() * Rational(1, 2))));
+
+  // 3. A second client taps the 48 kHz stream at the converter's own
+  //    rate — flow-consistent with the DAC constraint, so admissible.
+  const analysis::GraphAnalysis& current = controller.analysis();
+  Duration phi_src;
+  for (std::size_t i = 0; i < current.actors_in_order.size(); ++i) {
+    if (current.actors_in_order[i] == app.src) {
+      phi_src = current.pacing[i];
+    }
+  }
+  show("May a second stream start at vSRC (at its own rate)?",
+       controller.admit(analysis::ThroughputConstraint{app.src, phi_src}));
+
+  // 4. The same client asks for 10% more throughput: flow-inconsistent
+  //    with the DAC's fixed clock — rejected, state rolled back.
+  show("May the vSRC stream speed up by 10%?",
+       controller.set_period(
+           app.src, Duration(phi_src.seconds() * Rational(10, 11))));
+
+  // 5. The second stream stops again.
+  show("May the vSRC stream stop?", controller.remove(app.src));
+
+  // 6. The decoder moves back to its original core.
+  show("May vMP3 return to its original response time?",
+       controller.retune(app.mp3, rho_mp3));
+
+  std::cout << io::admission_summary(app.graph, controller);
+
+  // The serviced state must end exactly where the paper starts: the
+  // published capacities {6015, 3263, 882}.
+  const analysis::GraphAnalysis& final_state = controller.analysis();
+  for (std::size_t i = 0; i < final_state.pairs.size(); ++i) {
+    if (final_state.pairs[i].capacity !=
+        models::Mp3PaperNumbers::kVrdfCapacities[i]) {
+      std::cerr << "capacity mismatch on pair " << i << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "analysis/admission.hpp"
+
+#include "util/error.hpp"
+
+namespace vrdf::analysis {
+
+namespace {
+
+AdmissionDecision accept(const GraphAnalysis& analysis,
+                         std::int64_t total_before) {
+  AdmissionDecision decision;
+  decision.accepted = true;
+  decision.capacity_delta = analysis.total_capacity - total_before;
+  decision.total_capacity = analysis.total_capacity;
+  return decision;
+}
+
+AdmissionDecision reject(const GraphAnalysis& candidate) {
+  AdmissionDecision decision;
+  decision.diagnostics = candidate.diagnostics;
+  decision.binding_constraint =
+      candidate.diagnostics.empty() ? std::string("(no diagnostic)")
+                                    : candidate.diagnostics.front();
+  return decision;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const TopologySnapshot& snapshot,
+                                         ConstraintSet initial_streams,
+                                         AnalysisOptions options)
+    : engine_(snapshot, std::move(initial_streams), options) {
+  const GraphAnalysis& initial = engine_.analysis();
+  VRDF_REQUIRE(
+      initial.admissible,
+      "admission controller requires an admissible initial state; got: " +
+          (initial.diagnostics.empty() ? std::string("(no diagnostics)")
+                                       : initial.diagnostics.front()));
+}
+
+AdmissionDecision AdmissionController::admit(
+    const ThroughputConstraint& stream) {
+  for (const ThroughputConstraint& c : engine_.constraints()) {
+    VRDF_REQUIRE(!(c.actor == stream.actor),
+                 "admit: actor already carries a stream constraint "
+                 "(use set_period to change its rate)");
+  }
+  const std::int64_t before = engine_.analysis().total_capacity;
+  engine_.admit(stream);
+  const GraphAnalysis& candidate = engine_.analysis();
+  if (candidate.admissible) {
+    return accept(candidate, before);
+  }
+  AdmissionDecision decision = reject(candidate);
+  engine_.remove(stream.actor);
+  decision.total_capacity = engine_.analysis().total_capacity;
+  return decision;
+}
+
+AdmissionDecision AdmissionController::remove(dataflow::ActorId actor) {
+  VRDF_REQUIRE(engine_.constraints().size() > 1,
+               "remove: cannot stop the last stream — an unconstrained "
+               "graph has no analysis");
+  ThroughputConstraint removed{};
+  bool found = false;
+  for (const ThroughputConstraint& c : engine_.constraints()) {
+    if (c.actor == actor) {
+      removed = c;
+      found = true;
+      break;
+    }
+  }
+  VRDF_REQUIRE(found, "remove: actor carries no stream constraint");
+  const std::int64_t before = engine_.analysis().total_capacity;
+  engine_.remove(actor);
+  const GraphAnalysis& candidate = engine_.analysis();
+  if (candidate.admissible) {
+    return accept(candidate, before);
+  }
+  AdmissionDecision decision = reject(candidate);
+  engine_.admit(removed);
+  decision.total_capacity = engine_.analysis().total_capacity;
+  return decision;
+}
+
+AdmissionDecision AdmissionController::retune(dataflow::ActorId actor,
+                                              Duration rho) {
+  std::optional<Duration> previous;
+  if (actor.index() < engine_.overlay().response_time.size()) {
+    previous = engine_.overlay().response_time[actor.index()];
+  }
+  const std::int64_t before = engine_.analysis().total_capacity;
+  engine_.retune(actor, rho);
+  const GraphAnalysis& candidate = engine_.analysis();
+  if (candidate.admissible) {
+    return accept(candidate, before);
+  }
+  AdmissionDecision decision = reject(candidate);
+  if (previous.has_value()) {
+    engine_.retune(actor, *previous);
+  } else {
+    engine_.clear_retune(actor);
+  }
+  decision.total_capacity = engine_.analysis().total_capacity;
+  return decision;
+}
+
+AdmissionDecision AdmissionController::set_period(dataflow::ActorId actor,
+                                                  Duration tau) {
+  std::optional<Duration> previous;
+  for (const ThroughputConstraint& c : engine_.constraints()) {
+    if (c.actor == actor) {
+      previous = c.period;
+      break;
+    }
+  }
+  VRDF_REQUIRE(previous.has_value(),
+               "set_period: actor carries no stream constraint");
+  const std::int64_t before = engine_.analysis().total_capacity;
+  engine_.set_period(actor, tau);
+  const GraphAnalysis& candidate = engine_.analysis();
+  if (candidate.admissible) {
+    return accept(candidate, before);
+  }
+  AdmissionDecision decision = reject(candidate);
+  engine_.set_period(actor, *previous);
+  decision.total_capacity = engine_.analysis().total_capacity;
+  return decision;
+}
+
+}  // namespace vrdf::analysis

@@ -29,6 +29,7 @@
 // schedule stays feasible).
 #pragma once
 
+#include "analysis/snapshot.hpp"
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
 
@@ -64,6 +65,17 @@ namespace vrdf::analysis {
 [[nodiscard]] GraphAnalysis compute_buffer_capacities(
     const dataflow::VrdfGraph& graph, const ConstraintSet& constraints,
     const AnalysisOptions& options = {});
+
+/// Snapshot entry point: identical semantics and bit-identical results,
+/// but the model validation and buffer-network view come from the
+/// captured TopologySnapshot, and per-actor ρ / per-edge δ reads go
+/// through the ParameterOverlay (empty overlay = the graph's own
+/// values).  The graph overloads above are exactly
+/// `compute_buffer_capacities(TopologySnapshot(graph), ...)` with an
+/// empty overlay.
+[[nodiscard]] GraphAnalysis compute_buffer_capacities(
+    const TopologySnapshot& snapshot, const ConstraintSet& constraints,
+    const AnalysisOptions& options = {}, const ParameterOverlay& overlay = {});
 
 /// Writes the computed capacities into the graph: δ(space edge) of every
 /// analysed buffer is set to the pair's capacity minus the containers the

@@ -552,16 +552,10 @@ CoreResult propagate_core(const VrdfGraph& graph,
   return core;
 }
 
-/// Shared front door: model validation plus the constraint-set sanity
-/// checks every entry point needs before the propagation can run.
-bool validate_inputs(const VrdfGraph& graph, const ConstraintSet& constraints,
-                     std::vector<std::string>& diagnostics) {
-  const dataflow::ValidationReport validation =
-      dataflow::validate_cyclic_model(graph);
-  if (!validation.ok()) {
-    diagnostics = validation.errors;
-    return false;
-  }
+/// Constraint-set sanity checks shared by every entry point; the model
+/// validation itself lives in TopologySnapshot.
+bool validate_constraints(const ConstraintSet& constraints,
+                          std::vector<std::string>& diagnostics) {
   if (constraints.empty()) {
     diagnostics.push_back("throughput constraint set must not be empty");
     return false;
@@ -584,23 +578,37 @@ PacingResult compute_pacing(const VrdfGraph& graph,
 
 PacingResult compute_pacing(const VrdfGraph& graph,
                             const ConstraintSet& constraints) {
+  return compute_pacing(TopologySnapshot(graph), constraints);
+}
+
+PacingResult compute_pacing(const TopologySnapshot& snapshot,
+                            const ThroughputConstraint& constraint) {
+  return compute_pacing(snapshot, ConstraintSet{constraint});
+}
+
+PacingResult compute_pacing(const TopologySnapshot& snapshot,
+                            const ConstraintSet& constraints) {
   PacingResult result;
-  if (!validate_inputs(graph, constraints, result.diagnostics)) {
+  if (!snapshot.ok()) {
+    result.diagnostics = snapshot.diagnostics();
     return result;
   }
+  if (!validate_constraints(constraints, result.diagnostics)) {
+    return result;
+  }
+  const VrdfGraph& graph = snapshot.graph();
 
-  auto view = graph.buffer_view();
-  // validate_cyclic_model already guaranteed a buffer network whose
-  // cycles all break at tokened back-edges, so the skeleton is acyclic.
-  result.view = std::move(*view);
-  result.is_chain = result.view.is_chain;
-  result.is_cyclic = result.view.is_cyclic;
-  result.actors_in_order = result.view.actors;
-  result.buffers_in_order = result.view.buffers;
+  // The snapshot already guaranteed a buffer network whose cycles all
+  // break at tokened back-edges, so the skeleton is acyclic.
+  result.view = snapshot.view_ptr();
+  result.is_chain = result.view->is_chain;
+  result.is_cyclic = result.view->is_cyclic;
+  result.actors_in_order = result.view->actors;
+  result.buffers_in_order = result.view->buffers;
   result.constraints = constraints;
 
   CoreResult core =
-      propagate_core(graph, result.view, constraints, /*partial=*/false);
+      propagate_core(graph, *result.view, constraints, /*partial=*/false);
   for (std::string& d : core.diagnostics) {
     result.diagnostics.push_back(std::move(d));
   }
@@ -627,13 +635,22 @@ PacingResult compute_pacing(const VrdfGraph& graph,
 
 PartialPacing compute_partial_pacing(const VrdfGraph& graph,
                                      const ConstraintSet& constraints) {
+  return compute_partial_pacing(TopologySnapshot(graph), constraints);
+}
+
+PartialPacing compute_partial_pacing(const TopologySnapshot& snapshot,
+                                     const ConstraintSet& constraints) {
   PartialPacing partial;
-  if (!validate_inputs(graph, constraints, partial.diagnostics)) {
+  if (!snapshot.ok()) {
+    partial.diagnostics = snapshot.diagnostics();
     return partial;
   }
-  const auto view = graph.buffer_view();
+  if (!validate_constraints(constraints, partial.diagnostics)) {
+    return partial;
+  }
+  const VrdfGraph& graph = snapshot.graph();
   CoreResult core =
-      propagate_core(graph, *view, constraints, /*partial=*/true);
+      propagate_core(graph, snapshot.view(), constraints, /*partial=*/true);
   for (std::string& d : core.diagnostics) {
     partial.diagnostics.push_back(std::move(d));
   }

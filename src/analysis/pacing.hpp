@@ -68,10 +68,12 @@
 // reconvergent-path rejection.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/snapshot.hpp"
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
 #include "util/error.hpp"
@@ -95,8 +97,9 @@ struct PacingResult {
   /// The buffer network the propagation ran on (valid whenever the graph
   /// passed validate_cyclic_model, even if pacing itself failed) — shared
   /// with the capacity and min-period computations so the topological
-  /// structure is built once.
-  dataflow::VrdfGraph::BufferView view;
+  /// structure is built once.  Aliases the TopologySnapshot's view when
+  /// the snapshot entry point was used (no per-query copy).
+  std::shared_ptr<const dataflow::VrdfGraph::BufferView> view;
   /// Actors in topological order of the data edges (chain order on
   /// chains, data source first).
   std::vector<dataflow::ActorId> actors_in_order;
@@ -173,6 +176,16 @@ struct PacingResult {
 [[nodiscard]] PacingResult compute_pacing(const dataflow::VrdfGraph& graph,
                                           const ConstraintSet& constraints);
 
+/// Snapshot entry points: identical semantics and diagnostics, but the
+/// model validation and buffer-network view come from the captured
+/// TopologySnapshot instead of being rebuilt per call — the memoization
+/// tier every incremental query sits on.  The graph overloads above are
+/// exactly `compute_pacing(TopologySnapshot(graph), ...)`.
+[[nodiscard]] PacingResult compute_pacing(const TopologySnapshot& snapshot,
+                                          const ThroughputConstraint& constraint);
+[[nodiscard]] PacingResult compute_pacing(const TopologySnapshot& snapshot,
+                                          const ConstraintSet& constraints);
+
 /// Pacing restricted to the actors a constraint subset reaches, used by
 /// the multi-constraint min-period solver: actors outside the subset's
 /// demand cone keep no pacing instead of failing the propagation, and no
@@ -187,5 +200,7 @@ struct PartialPacing {
 };
 [[nodiscard]] PartialPacing compute_partial_pacing(
     const dataflow::VrdfGraph& graph, const ConstraintSet& constraints);
+[[nodiscard]] PartialPacing compute_partial_pacing(
+    const TopologySnapshot& snapshot, const ConstraintSet& constraints);
 
 }  // namespace vrdf::analysis

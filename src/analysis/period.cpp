@@ -35,17 +35,25 @@ struct AffineLead {
 MinPeriodResult min_admissible_period(const VrdfGraph& graph,
                                       dataflow::ActorId actor,
                                       const AnalysisOptions& options) {
+  return min_admissible_period(TopologySnapshot(graph), actor, options);
+}
+
+MinPeriodResult min_admissible_period(const TopologySnapshot& snapshot,
+                                      dataflow::ActorId actor,
+                                      const AnalysisOptions& options,
+                                      const ParameterOverlay& overlay) {
   MinPeriodResult result;
 
   // Pacing coefficients c_v are rate-only: run the propagation with a unit
   // period and read φ(v) as c_v.
-  const PacingResult unit =
-      compute_pacing(graph, ThroughputConstraint{actor, seconds(Rational(1))});
+  const PacingResult unit = compute_pacing(
+      snapshot, ThroughputConstraint{actor, seconds(Rational(1))});
   if (!unit.ok) {
     result.diagnostics = unit.diagnostics;
     return result;
   }
-  const dataflow::VrdfGraph::BufferView& view = unit.view;
+  const VrdfGraph& graph = snapshot.graph();
+  const dataflow::VrdfGraph::BufferView& view = *unit.view;
 
   // Per-edge bound-rate coefficient: s_e = (c_near / q_e)·τ, where the
   // near endpoint is the pair's rate-determining side (per-edge since an
@@ -93,7 +101,8 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
                             down.rate + rate_coefficient(pos, data) *
                                             Rational(data.production.max() - 1)});
       }
-      longest.resp = longest.resp + graph.actor(v).response_time.seconds();
+      longest.resp =
+          longest.resp + overlay.response_time_of(graph, v).seconds();
       lead[v.index()] = longest;
     }
     // Pass B — the rest, forward order.
@@ -109,8 +118,9 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
         const Edge& data = graph.edge(view.buffers[pos].data);
         const AffineLead& up = lead[data.source.index()];
         consider(longest,
-                 AffineLead{up.resp +
-                                graph.actor(data.source).response_time.seconds(),
+                 AffineLead{up.resp + overlay
+                                          .response_time_of(graph, data.source)
+                                          .seconds(),
                             up.rate + rate_coefficient(pos, data) *
                                           Rational(data.production.max() - 1)});
       }
@@ -144,10 +154,11 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
 
     // Response-time constraints ρ(v) ≤ c_v·τ (closed).
     for (std::size_t i = 0; i < unit.actors_in_order.size(); ++i) {
-      const dataflow::Actor& a = graph.actor(unit.actors_in_order[i]);
+      const dataflow::ActorId v = unit.actors_in_order[i];
+      const Rational rho = overlay.response_time_of(graph, v).seconds();
       const Rational c_v = unit.pacing[i].seconds();
-      tighten(a.response_time.seconds() / c_v, "actor " + a.name);
-      tighten_infimum(a.response_time.seconds() / c_v, true);
+      tighten(rho / c_v, "actor " + graph.actor(v).name);
+      tighten_infimum(rho / c_v, true);
     }
 
 
@@ -158,8 +169,7 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
     for (std::size_t i = 0; i < unit.buffers_in_order.size(); ++i) {
       const dataflow::BufferEdges buffer = unit.buffers_in_order[i];
       const Edge& data = graph.edge(buffer.data);
-      const Edge& space = graph.edge(buffer.space);
-      const std::int64_t d = space.initial_tokens;
+      const std::int64_t d = overlay.initial_tokens_of(graph, buffer.space);
       const std::int64_t pi_max = data.production.max();
       const std::int64_t gamma_max = data.consumption.max();
       const std::string label = "buffer " + graph.actor(data.source).name +
@@ -191,7 +201,7 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
                            lead[data.target.index()].rate -
                                lead[data.source.index()].rate};
       const AffineLead chain_local{
-          graph.actor(data.source).response_time.seconds(),
+          overlay.response_time_of(graph, data.source).seconds(),
           rate_coefficient(i, data) * Rational(pi_max - 1)};
       // Ties keep `aligned`, which on skeleton edges is always ≥ the
       // chain-local value — acyclic graphs reproduce the pre-cyclic
@@ -207,7 +217,7 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
                                                                : pi_max;
       // delta_total = R + C·τ with the consumer-side Eq (2) terms added.
       const Rational resp_part =
-          gap.resp + graph.actor(data.target).response_time.seconds();
+          gap.resp + overlay.response_time_of(graph, data.target).seconds();
       const Rational rate_tokens =  // (C·q/c): τ-independent token count
           (gap.rate + (c / Rational(q)) * Rational(gamma_max - 1)) *
           Rational(q) / c;
@@ -244,18 +254,21 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
       //   (rev + ρ_p)/s + (π̂−1) + (γ̂−1) ≤ δ,  s = (c/q)·τ
       // ⇔ τ ≥ q·(rev.resp + ρ_p) / (c·(δ − (π̂−1) − (γ̂−1) − q·rev.rate/c)).
       if (view.is_feedback[i]) {
+        const std::int64_t delta =
+            overlay.initial_tokens_of(graph, buffer.data);
         const AffineLead reverse{-aligned.resp, -aligned.rate};
         const Rational token_margin =
-            Rational(data.initial_tokens) - Rational(pi_max - 1) -
+            Rational(delta) - Rational(pi_max - 1) -
             Rational(gamma_max - 1) - reverse.rate * Rational(q) / c;
         const Rational cycle_resp =
-            reverse.resp + graph.actor(data.source).response_time.seconds();
+            reverse.resp +
+            overlay.response_time_of(graph, data.source).seconds();
         const std::string cycle_label = "cycle through back-edge " +
                                         graph.actor(data.source).name + "->" +
                                         graph.actor(data.target).name;
         if (!token_margin.is_positive()) {
           std::ostringstream os;
-          os << cycle_label << ": delta=" << data.initial_tokens
+          os << cycle_label << ": delta=" << delta
              << " initial tokens cannot sustain any rate (the cycle's "
                 "transfer slack alone consumes the credit)";
           result.diagnostics.push_back(os.str());
@@ -293,14 +306,15 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
   // installed capacities (guards the fixed-binding closed form on
   // fork-join graphs; never triggers on chains, whose max is trivial).
   const GraphAnalysis forward = compute_buffer_capacities(
-      graph, ThroughputConstraint{actor, result.min_period}, options);
+      snapshot, ConstraintSet{{actor, result.min_period}}, options, overlay);
   bool fits = forward.admissible;
   if (fits) {
     for (const PairAnalysis& pair : forward.pairs) {
       // pair.capacity is the *total* container count; compare against the
       // installed total (free containers + containers holding initial
       // tokens).
-      fits = fits && pair.capacity <= graph.buffer_capacity(pair.buffer);
+      fits = fits && pair.capacity <= overlay.buffer_capacity_of(graph,
+                                                                 pair.buffer);
     }
   }
   if (!fits) {
@@ -315,6 +329,15 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
                                       const ConstraintSet& constraints,
                                       dataflow::ActorId designated,
                                       const AnalysisOptions& options) {
+  return min_admissible_period(TopologySnapshot(graph), constraints,
+                               designated, options);
+}
+
+MinPeriodResult min_admissible_period(const TopologySnapshot& snapshot,
+                                      const ConstraintSet& constraints,
+                                      dataflow::ActorId designated,
+                                      const AnalysisOptions& options,
+                                      const ParameterOverlay& overlay) {
   MinPeriodResult result;
   ConstraintSet others;
   bool found = false;
@@ -331,8 +354,9 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
     return result;
   }
   if (others.empty()) {
-    return min_admissible_period(graph, designated, options);
+    return min_admissible_period(snapshot, designated, options, overlay);
   }
+  const VrdfGraph& graph = snapshot.graph();
 
   // The designated constraint's demand cone with a unit period gives the
   // rate-only coefficients c_v; the fixed constraints' cone gives the φ
@@ -340,12 +364,12 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
   // overlap actor, so the overlap determines τ — and must determine it
   // consistently.
   const PartialPacing unit = compute_partial_pacing(
-      graph, ConstraintSet{{designated, seconds(Rational(1))}});
+      snapshot, ConstraintSet{{designated, seconds(Rational(1))}});
   if (!unit.ok) {
     result.diagnostics = unit.diagnostics;
     return result;
   }
-  const PartialPacing fixed = compute_partial_pacing(graph, others);
+  const PartialPacing fixed = compute_partial_pacing(snapshot, others);
   if (!fixed.ok) {
     result.diagnostics = fixed.diagnostics;
     return result;
@@ -391,7 +415,7 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
   ConstraintSet full = others;
   full.push_back(ThroughputConstraint{designated, Duration(*tau)});
   const GraphAnalysis forward =
-      compute_buffer_capacities(graph, full, options);
+      compute_buffer_capacities(snapshot, full, options, overlay);
   if (!forward.admissible) {
     result.diagnostics = forward.diagnostics;
     result.diagnostics.push_back(
@@ -400,11 +424,13 @@ MinPeriodResult min_admissible_period(const VrdfGraph& graph,
     return result;
   }
   for (const PairAnalysis& pair : forward.pairs) {
-    if (pair.capacity > graph.buffer_capacity(pair.buffer)) {
+    const std::int64_t installed =
+        overlay.buffer_capacity_of(graph, pair.buffer);
+    if (pair.capacity > installed) {
       std::ostringstream os;
       os << "buffer " << graph.actor(pair.producer).name << "->"
          << graph.actor(pair.consumer).name << ": installed capacity "
-         << graph.buffer_capacity(pair.buffer) << " cannot sustain the "
+         << installed << " cannot sustain the "
          << "flow-coupled period " << tau->to_string() << " s (needs "
          << pair.capacity << " containers)";
       result.diagnostics.push_back(os.str());

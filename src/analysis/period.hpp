@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/snapshot.hpp"
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
 
@@ -80,5 +81,18 @@ struct MinPeriodResult {
 [[nodiscard]] MinPeriodResult min_admissible_period(
     const dataflow::VrdfGraph& graph, const ConstraintSet& constraints,
     dataflow::ActorId designated, const AnalysisOptions& options = {});
+
+/// Snapshot entry points: identical semantics and bit-identical results,
+/// with the structural artifact taken from the captured TopologySnapshot
+/// and every ρ / δ / installed-capacity read going through the
+/// ParameterOverlay (empty overlay = the graph's own values).  These are
+/// what the admission controller queries between topology changes.
+[[nodiscard]] MinPeriodResult min_admissible_period(
+    const TopologySnapshot& snapshot, dataflow::ActorId actor,
+    const AnalysisOptions& options = {}, const ParameterOverlay& overlay = {});
+[[nodiscard]] MinPeriodResult min_admissible_period(
+    const TopologySnapshot& snapshot, const ConstraintSet& constraints,
+    dataflow::ActorId designated, const AnalysisOptions& options = {},
+    const ParameterOverlay& overlay = {});
 
 }  // namespace vrdf::analysis

@@ -1,0 +1,77 @@
+// Internal sizing primitives shared by the full analysis
+// (buffer_sizing.cpp) and the incremental re-analysis engine
+// (incremental.cpp).  Both paths MUST go through these helpers: the
+// incremental engine promises field-for-field identical GraphAnalysis
+// results, and the only way to keep that promise cheaply is to compute
+// every lead and every pair with the same code and the same evaluation
+// order as the full analysis.
+//
+// All helpers read parameters through a ParameterOverlay (an empty
+// overlay reproduces the graph's own values bit for bit, since the
+// overlay merely forwards to the graph accessor).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/pacing.hpp"
+#include "analysis/snapshot.hpp"
+#include "analysis/types.hpp"
+#include "dataflow/vrdf_graph.hpp"
+
+namespace vrdf::analysis::detail {
+
+/// True when v carries a throughput constraint anchoring a region of the
+/// given kind (sink-kind: data sinks and interior pins seen from
+/// upstream; source-kind: data sources and interior pins seen from
+/// downstream — an interior pin is both at once).
+[[nodiscard]] bool constrained_kind(const PacingResult& pacing,
+                                    dataflow::ActorId v, bool sink_kind);
+
+/// Producer/consumer schedule validity (Sec 4.2): ρ(v) ≤ φ(v) for every
+/// actor, in topological order.  Appends one diagnostic per violating
+/// actor; returns false when any actor violates.
+[[nodiscard]] bool check_schedule_validity(const dataflow::VrdfGraph& graph,
+                                           const ParameterOverlay& overlay,
+                                           const PacingResult& pacing,
+                                           std::vector<std::string>& diagnostics);
+
+/// ω(v) for a pass-A actor (sink-anchored, not a sink-kind constraint
+/// anchor), given the leads of its sink-determined out-neighbours.
+[[nodiscard]] Duration lead_pass_a_of(const dataflow::VrdfGraph& graph,
+                                      const ParameterOverlay& overlay,
+                                      const PacingResult& pacing,
+                                      const std::vector<Duration>& lead,
+                                      dataflow::ActorId v);
+
+/// ω(v) for a pass-B actor (not sink-anchored, not a source-kind
+/// constraint anchor), given the leads of its source-determined
+/// in-neighbours.
+[[nodiscard]] Duration lead_pass_b_of(const dataflow::VrdfGraph& graph,
+                                      const ParameterOverlay& overlay,
+                                      const PacingResult& pacing,
+                                      const std::vector<Duration>& lead,
+                                      dataflow::ActorId v);
+
+/// Full two-pass schedule-alignment computation: pass A over the
+/// sink-anchored region in reverse topological order, pass B over the
+/// rest forward; constraint anchors stay pinned at ω = 0.  Indexed by
+/// ActorId::index().
+[[nodiscard]] std::vector<Duration> compute_alignment_leads(
+    const dataflow::VrdfGraph& graph, const ParameterOverlay& overlay,
+    const PacingResult& pacing);
+
+/// Analyses the pair at position `pos` of pacing.buffers_in_order: bound
+/// rate, Eq (1)–(4) capacity with the tight-adjacency rounding rule, and
+/// — for back-edges — the max-cycle-ratio initial-token requirement.  A
+/// violating back-edge appends its diagnostic and clears `admissible`.
+[[nodiscard]] PairAnalysis analyse_pair(const dataflow::VrdfGraph& graph,
+                                        const ParameterOverlay& overlay,
+                                        const PacingResult& pacing,
+                                        const std::vector<Duration>& lead,
+                                        std::size_t pos,
+                                        const AnalysisOptions& options,
+                                        std::vector<std::string>& diagnostics,
+                                        bool& admissible);
+
+}  // namespace vrdf::analysis::detail

@@ -162,9 +162,6 @@ struct GraphAnalysis {
   std::int64_t total_capacity = 0;
 };
 
-/// Pre-refactor name, kept for out-of-tree chain-only call sites.
-using ChainAnalysis [[deprecated("use GraphAnalysis")]] = GraphAnalysis;
-
 struct AnalysisOptions {
   RoundingMode rounding = RoundingMode::PaperPublished;
 };

@@ -6,6 +6,11 @@
 
 namespace vrdf::dataflow {
 
+void VrdfGraph::record_mutation(std::string what) {
+  ++revision_;
+  last_mutation_ = std::move(what);
+}
+
 ActorId VrdfGraph::add_actor(std::string name, Duration response_time) {
   VRDF_REQUIRE(!name.empty(), "actor name must be non-empty");
   VRDF_REQUIRE(response_time.is_positive(), "actor response time must be positive");
@@ -13,6 +18,7 @@ ActorId VrdfGraph::add_actor(std::string name, Duration response_time) {
                "actor name '" + name + "' is already in use");
   const ActorId id = topology_.add_node();
   actors_.push_back(Actor{std::move(name), response_time});
+  record_mutation("add_actor '" + actors_.back().name + "'");
   return id;
 }
 
@@ -25,6 +31,8 @@ EdgeId VrdfGraph::add_edge(ActorId source, ActorId target, RateSet production,
   edges_.push_back(Edge{source, target, std::move(production),
                         std::move(consumption), initial_tokens,
                         EdgeId::invalid()});
+  record_mutation("add_edge " + actors_[source.index()].name + " -> " +
+                  actors_[target.index()].name);
   return id;
 }
 
@@ -227,6 +235,9 @@ void VrdfGraph::set_initial_tokens(EdgeId id, std::int64_t tokens) {
   VRDF_REQUIRE(topology_.contains(id), "edge id out of range");
   VRDF_REQUIRE(tokens >= 0, "initial tokens must be non-negative");
   edges_[id.index()].initial_tokens = tokens;
+  record_mutation("set_initial_tokens on edge " +
+                  actors_[edges_[id.index()].source.index()].name + " -> " +
+                  actors_[edges_[id.index()].target.index()].name);
 }
 
 void VrdfGraph::set_response_time(ActorId id, Duration response_time) {
@@ -234,6 +245,8 @@ void VrdfGraph::set_response_time(ActorId id, Duration response_time) {
   VRDF_REQUIRE(response_time.is_positive(),
                "actor response time must be positive");
   actors_[id.index()].response_time = response_time;
+  record_mutation("set_response_time on actor '" + actors_[id.index()].name +
+                  "'");
 }
 
 }  // namespace vrdf::dataflow

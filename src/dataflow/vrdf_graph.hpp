@@ -111,6 +111,19 @@ public:
   /// Underlying topology (for the generic graph algorithms).
   [[nodiscard]] const graph::Digraph& topology() const { return topology_; }
 
+  /// Monotonic mutation counter: bumped by every mutator (add_actor,
+  /// add_edge/add_buffer, set_initial_tokens, set_response_time).  Captured
+  /// by analysis::TopologySnapshot so that a query against a snapshot of a
+  /// since-mutated graph fails loudly instead of answering from stale
+  /// memoized structure.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+  /// Human-readable description of the mutation that produced the current
+  /// revision (names the actor or edge), empty on a freshly constructed
+  /// graph.  Used by the stale-snapshot diagnostic.
+  [[nodiscard]] const std::string& last_mutation() const {
+    return last_mutation_;
+  }
+
   /// A VRDF graph seen as a chain of buffers: actors ordered from the data
   /// source to the data sink, with buffers[i] connecting actors[i] to
   /// actors[i+1] in data direction.
@@ -184,10 +197,14 @@ public:
   [[nodiscard]] std::optional<BufferView> buffer_view() const;
 
 private:
+  void record_mutation(std::string what);
+
   graph::Digraph topology_;
   std::vector<Actor> actors_;
   std::vector<Edge> edges_;
   std::vector<BufferEdges> buffers_;
+  std::uint64_t revision_ = 0;
+  std::string last_mutation_;
 };
 
 }  // namespace vrdf::dataflow

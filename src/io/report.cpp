@@ -182,4 +182,31 @@ std::string analysis_report(const dataflow::VrdfGraph& graph,
   return render_report(graph, constraints, analysis);
 }
 
+std::string admission_summary(const dataflow::VrdfGraph& graph,
+                              const analysis::AdmissionController& controller) {
+  const analysis::GraphAnalysis& analysis = controller.analysis();
+  const analysis::InvalidationStats& stats = controller.engine().stats();
+  std::ostringstream os;
+  os << "# Admission-control service summary\n\n";
+  os << "Serviced streams (" << controller.streams().size() << "):\n";
+  for (const analysis::ThroughputConstraint& c : controller.streams()) {
+    os << "  - actor `" << graph.actor(c.actor).name << "`, period "
+       << c.period.seconds().to_string() << " s ("
+       << c.period.seconds().reciprocal().to_double() << " Hz)\n";
+  }
+  os << "\nTotal buffer capacity: " << analysis.total_capacity
+     << " containers across " << analysis.pairs.size() << " pairs\n";
+  os << "\nIncremental engine counters:\n";
+  os << "  - queries served: " << stats.queries << "\n";
+  os << "  - pacing recomputes: " << stats.pacing_recomputes
+     << ", pacing cache hits: " << stats.pacing_cache_hits << "\n";
+  os << "  - leads recomputed: " << stats.leads_recomputed
+     << ", reused: " << stats.leads_reused << "\n";
+  os << "  - pairs recomputed: " << stats.pairs_recomputed
+     << ", reused: " << stats.pairs_reused << "\n";
+  os << "  - last invalidation cone: " << stats.last_cone_actors
+     << " actors, " << stats.last_cone_pairs << " pairs\n";
+  return os.str();
+}
+
 }  // namespace vrdf::io

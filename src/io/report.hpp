@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "analysis/admission.hpp"
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
 
@@ -28,5 +29,14 @@ namespace vrdf::io {
     const dataflow::VrdfGraph& graph,
     const analysis::ConstraintSet& constraints,
     const analysis::GraphAnalysis& analysis);
+
+/// One-page service summary of a live admission controller: the serviced
+/// streams with their periods, the current total capacity, and the
+/// incremental engine's cache counters (queries served, pacing
+/// recomputes vs cache hits, leads/pairs recomputed vs reused).  Used by
+/// the admission-loop example and handy for operational dashboards.
+[[nodiscard]] std::string admission_summary(
+    const dataflow::VrdfGraph& graph,
+    const analysis::AdmissionController& controller);
 
 }  // namespace vrdf::io
