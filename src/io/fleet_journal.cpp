@@ -1,0 +1,116 @@
+#include "io/fleet_journal.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vrdf::io {
+
+namespace {
+
+[[nodiscard]] std::string hex64(std::uint64_t value) {
+  std::ostringstream os;
+  os << std::hex << value;
+  return os.str();
+}
+
+}  // namespace
+
+FleetJournal::FleetJournal(std::string path, std::uint64_t fingerprint,
+                           std::size_t items)
+    : path_(std::move(path)), fingerprint_(fingerprint), loaded_(items) {
+  const std::string header_line = "vrdf-fleet-journal v1";
+  const std::string spec_line =
+      "spec fingerprint=" + hex64(fingerprint_) +
+      " items=" + std::to_string(items);
+
+  std::string content;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      content = buffer.str();
+    }
+  }
+
+  if (!content.empty()) {
+    // A line is committed only once its newline hit the file: drop the
+    // torn tail of an interrupted write, its item simply reruns.
+    const std::size_t last_newline = content.rfind('\n');
+    content = last_newline == std::string::npos
+                  ? std::string()
+                  : content.substr(0, last_newline + 1);
+  }
+
+  if (!content.empty()) {
+    std::istringstream in(content);
+    std::string line;
+    if (!std::getline(in, line) || line != header_line) {
+      throw ModelError("fleet journal '" + path_ +
+                       "': missing or foreign header (expected '" +
+                       header_line + "')");
+    }
+    if (!std::getline(in, line) || line != spec_line) {
+      throw ModelError(
+          "fleet journal '" + path_ +
+          "' was written for a different sweep spec (expected '" + spec_line +
+          "', found '" + line + "'); use a fresh journal path");
+    }
+    std::size_t line_number = 2;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) {
+        continue;
+      }
+      sim::FleetItemResult result;
+      if (!sim::decode_item_line(line, &result) ||
+          result.item.index >= loaded_.size()) {
+        throw ModelError("fleet journal '" + path_ + "' line " +
+                         std::to_string(line_number) +
+                         ": malformed item record");
+      }
+      if (!loaded_[result.item.index].has_value()) {
+        loaded_[result.item.index] = std::move(result);
+        ++loaded_count_;
+      }
+    }
+    out_.open(path_, std::ios::binary | std::ios::app);
+  } else {
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (out_) {
+      out_ << header_line << '\n' << spec_line << '\n';
+      out_.flush();
+    }
+  }
+  if (!out_) {
+    throw ModelError("fleet journal '" + path_ + "' cannot be opened for writing");
+  }
+}
+
+std::size_t FleetJournal::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return loaded_count_ + appended_;
+}
+
+bool FleetJournal::lookup(std::size_t index,
+                          sim::FleetItemResult* result) const {
+  VRDF_REQUIRE(index < loaded_.size(), "journal lookup index out of range");
+  if (!loaded_[index].has_value()) {
+    return false;
+  }
+  *result = *loaded_[index];
+  return true;
+}
+
+void FleetJournal::record(const sim::FleetItemResult& result) {
+  VRDF_REQUIRE(result.item.index < loaded_.size(),
+               "journal record index out of range");
+  const std::string line = sim::encode_item_line(result);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();
+  ++appended_;
+}
+
+}  // namespace vrdf::io

@@ -6,6 +6,7 @@
 #include "analysis/buffer_sizing.hpp"
 #include "analysis/pacing.hpp"
 #include "util/error.hpp"
+#include "util/seed_stream.hpp"
 
 namespace vrdf::models {
 
@@ -280,8 +281,9 @@ SyntheticChain make_random_cyclic(const RandomCyclicSpec& spec) {
   const ThroughputConstraint constraint{constrained, spec.base.period};
 
   // A dedicated stream keeps the skeleton draws identical to the acyclic
-  // generator for the same base spec.
-  std::mt19937_64 rng(spec.base.seed ^ 0x9e3779b97f4a7c15ULL);
+  // generator for the same base spec; decorrelate() is the published
+  // PR 3 derivation, kept bit-compatible (see util/seed_stream.hpp).
+  std::mt19937_64 rng(util::decorrelate(spec.base.seed));
   std::uniform_int_distribution<int> percent(0, 99);
   bool closed_any = false;
   for (std::size_t s = 0; s < bare.stages.size(); ++s) {
@@ -708,6 +710,26 @@ SyntheticChain make_sensor_acquisition() {
   return SyntheticChain{std::move(*scaled), constraint};
 }
 
+const char* class_name(ModelClass model_class) {
+  switch (model_class) {
+    case ModelClass::Chain: return "chain";
+    case ModelClass::ForkJoin: return "fork_join";
+    case ModelClass::Cyclic: return "cyclic";
+    case ModelClass::MultiConstraint: return "multi_constraint";
+    case ModelClass::InteriorPinned: return "interior_pinned";
+  }
+  return "?";
+}
+
+std::optional<ModelClass> parse_model_class(const std::string& name) {
+  if (name == "chain") return ModelClass::Chain;
+  if (name == "fork_join") return ModelClass::ForkJoin;
+  if (name == "cyclic") return ModelClass::Cyclic;
+  if (name == "multi_constraint") return ModelClass::MultiConstraint;
+  if (name == "interior_pinned") return ModelClass::InteriorPinned;
+  return std::nullopt;
+}
+
 SyntheticModel make_random_model(const RandomModelSpec& spec) {
   SyntheticModel model;
   switch (spec.model_class) {
@@ -717,6 +739,7 @@ SyntheticModel make_random_model(const RandomModelSpec& spec) {
       chain.response_fraction = spec.response_fraction;
       chain.variable_percent = spec.variable_percent;
       chain.zero_percent = spec.zero_percent;
+      chain.source_constrained = spec.source_constrained;
       SyntheticChain generated = make_random_chain(chain);
       model.graph = std::move(generated.graph);
       model.constraints = {generated.constraint};
@@ -728,6 +751,7 @@ SyntheticModel make_random_model(const RandomModelSpec& spec) {
       fork_join.response_fraction = spec.response_fraction;
       fork_join.variable_percent = spec.variable_percent;
       fork_join.zero_percent = spec.zero_percent;
+      fork_join.source_constrained = spec.source_constrained;
       SyntheticChain generated = make_random_fork_join(fork_join);
       model.graph = std::move(generated.graph);
       model.constraints = {generated.constraint};
@@ -739,6 +763,7 @@ SyntheticModel make_random_model(const RandomModelSpec& spec) {
       cyclic.base.response_fraction = spec.response_fraction;
       cyclic.base.variable_percent = spec.variable_percent;
       cyclic.base.zero_percent = spec.zero_percent;
+      cyclic.base.source_constrained = spec.source_constrained;
       SyntheticChain generated = make_random_cyclic(cyclic);
       model.graph = std::move(generated.graph);
       model.constraints = {generated.constraint};

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
@@ -341,6 +342,15 @@ enum class ModelClass {
   InteriorPinned,   // make_random_interior_pinned
 };
 
+/// Stable lower-snake names of the model classes, for reports, journals
+/// and CLIs: "chain", "fork_join", "cyclic", "multi_constraint",
+/// "interior_pinned".
+[[nodiscard]] const char* class_name(ModelClass model_class);
+
+/// Inverse of class_name; nullopt for unknown strings.
+[[nodiscard]] std::optional<ModelClass> parse_model_class(
+    const std::string& name);
+
 /// Uniform front-end over the five generators for parameter sweeps that
 /// only care about seed, slack and variability — every other knob stays
 /// at the per-generator default.
@@ -355,6 +365,11 @@ struct RandomModelSpec {
   /// Extra containers granted to every buffer beyond the analysed
   /// capacity — per-buffer headroom for robustness experiments.
   std::int64_t capacity_headroom = 0;
+  /// Constrain the source instead of the sink (Sec 4.4) for the classes
+  /// that have a source-constrained form (Chain, ForkJoin, Cyclic);
+  /// MultiConstraint and InteriorPinned ignore the flag — their
+  /// constraint placement is the class.
+  bool source_constrained = false;
 };
 
 /// A generated graph that already carries its installed capacities,

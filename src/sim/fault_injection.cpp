@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/seed_stream.hpp"
 
 namespace vrdf::sim {
 
@@ -19,16 +20,16 @@ constexpr std::int64_t kNoEnd = std::numeric_limits<std::int64_t>::max();
 }
 
 /// Per-spec hash seed: independent streams per (plan seed, actor, spec
-/// position) so composed faults never correlate.
+/// position) so composed faults never correlate.  The stream index packs
+/// (actor, spec position) into the shared splitmix64 derivation —
+/// bit-identical to the inline arithmetic this replaced, so published
+/// fault-plan seeds keep replaying the same faults.
 [[nodiscard]] std::uint64_t spec_seed(std::uint64_t plan_seed,
                                       dataflow::ActorId actor,
                                       std::size_t spec_index) {
-  std::uint64_t z = plan_seed * 0x9E3779B97F4A7C15ULL +
-                    (static_cast<std::uint64_t>(actor.value()) << 32) +
-                    spec_index + 1;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+  return util::derive_seed(plan_seed,
+                           (static_cast<std::uint64_t>(actor.value()) << 32) +
+                               spec_index + 1);
 }
 
 }  // namespace

@@ -1,0 +1,511 @@
+#include "sim/fleet.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <sstream>
+
+#include "analysis/buffer_sizing.hpp"
+#include "analysis/robustness.hpp"
+#include "io/fleet_journal.hpp"
+#include "sim/fault_injection.hpp"
+#include "util/error.hpp"
+#include "util/seed_stream.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vrdf::sim {
+
+namespace {
+
+using models::ModelClass;
+
+[[nodiscard]] bool class_has_source_mode(ModelClass model_class) {
+  return model_class == ModelClass::Chain ||
+         model_class == ModelClass::ForkJoin ||
+         model_class == ModelClass::Cyclic;
+}
+
+[[nodiscard]] std::string escape_detail(const std::string& detail) {
+  std::string out;
+  out.reserve(detail.size());
+  for (const char c : detail) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::string unescape_detail(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '\\' && i + 1 < escaped.size()) {
+      ++i;
+      out += escaped[i] == 'n' ? '\n' : escaped[i];
+    } else {
+      out += escaped[i];
+    }
+  }
+  return out;
+}
+
+/// `key=value` token reader over one encoded line.
+class FieldReader {
+ public:
+  explicit FieldReader(std::istringstream& in) : in_(in) {}
+
+  bool next(const char* key, std::string* value) {
+    std::string token;
+    if (!(in_ >> token)) {
+      return false;
+    }
+    const std::string prefix = std::string(key) + "=";
+    if (token.rfind(prefix, 0) != 0) {
+      return false;
+    }
+    *value = token.substr(prefix.size());
+    return true;
+  }
+
+  bool next_int(const char* key, std::int64_t* value) {
+    std::string text;
+    if (!next(key, &text) || text.empty()) {
+      return false;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size()) {
+      return false;
+    }
+    *value = parsed;
+    return true;
+  }
+
+  bool next_bool(const char* key, bool* value) {
+    std::int64_t raw = 0;
+    if (!next_int(key, &raw) || (raw != 0 && raw != 1)) {
+      return false;
+    }
+    *value = raw == 1;
+    return true;
+  }
+
+ private:
+  std::istringstream& in_;
+};
+
+void tally_item(FleetClassTally& tally, const FleetItemResult& result) {
+  ++tally.items;
+  if (result.rejected) {
+    ++tally.rejected;
+  } else if (result.pass) {
+    ++tally.passed;
+  } else {
+    ++tally.failed;
+  }
+  tally.starvations += result.starvation_count;
+  tally.total_capacity += result.total_capacity;
+  tally.firings += result.firings;
+  if (result.max_lateness > tally.worst_lateness) {
+    tally.worst_lateness = result.max_lateness;
+  }
+  tally.faults_expected += result.fault_margin_positive ? 1 : 0;
+  tally.faults_named += result.fault_named ? 1 : 0;
+}
+
+void write_tally_fields(std::ostringstream& os, const FleetClassTally& t) {
+  os << "items=" << t.items << " passed=" << t.passed << " failed=" << t.failed
+     << " rejected=" << t.rejected << " starvations=" << t.starvations
+     << " capacity=" << t.total_capacity << " firings=" << t.firings
+     << " worst_lateness=" << t.worst_lateness.seconds().to_string()
+     << " faults_expected=" << t.faults_expected
+     << " faults_named=" << t.faults_named;
+}
+
+[[nodiscard]] std::uint64_t fingerprint_text(const std::string& text,
+                                             std::uint64_t tag) {
+  // FNV-1a over the canonical spec summary, finalized through the shared
+  // splitmix64 mixer with the caller's journal tag.
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const unsigned char c : text) {
+    hash = (hash ^ c) * 0x100000001B3ULL;
+  }
+  return util::derive_seed(hash, tag);
+}
+
+}  // namespace
+
+const char* constraint_mode_name(ConstraintMode mode) {
+  return mode == ConstraintMode::Sink ? "sink" : "source";
+}
+
+std::string encode_item_line(const FleetItemResult& result) {
+  std::ostringstream os;
+  os << "item " << result.item.index
+     << " class=" << models::class_name(result.item.model_class)
+     << " seed=" << result.item.seed_ordinal
+     << " headroom=" << result.item.headroom
+     << " mode=" << constraint_mode_name(result.item.mode)
+     << " pass=" << (result.pass ? 1 : 0)
+     << " rejected=" << (result.rejected ? 1 : 0)
+     << " starvations=" << result.starvation_count
+     << " capacity=" << result.total_capacity << " firings=" << result.firings
+     << " lateness=" << result.max_lateness.seconds().to_string()
+     << " fault_expected=" << (result.fault_margin_positive ? 1 : 0)
+     << " fault_named=" << (result.fault_named ? 1 : 0)
+     << " detail=" << escape_detail(result.detail);
+  return os.str();
+}
+
+bool decode_item_line(const std::string& line, FleetItemResult* result) {
+  if (line.rfind("item ", 0) != 0) {
+    return false;
+  }
+  // `detail=` takes the rest of the line (it may contain spaces); split it
+  // off before tokenizing the fixed-shape fields.
+  const std::size_t detail_pos = line.find(" detail=");
+  if (detail_pos == std::string::npos) {
+    return false;
+  }
+  FleetItemResult decoded;
+  decoded.detail = unescape_detail(line.substr(detail_pos + 8));
+  std::istringstream in(line.substr(5, detail_pos - 5));
+  std::int64_t index = 0;
+  if (!(in >> index) || index < 0) {
+    return false;
+  }
+  decoded.item.index = static_cast<std::size_t>(index);
+  FieldReader fields(in);
+  std::string class_text;
+  std::string mode_text;
+  std::string lateness_text;
+  std::int64_t seed = 0;
+  if (!fields.next("class", &class_text) || !fields.next_int("seed", &seed) ||
+      seed < 0 || !fields.next_int("headroom", &decoded.item.headroom) ||
+      !fields.next("mode", &mode_text) ||
+      !fields.next_bool("pass", &decoded.pass) ||
+      !fields.next_bool("rejected", &decoded.rejected) ||
+      !fields.next_int("starvations", &decoded.starvation_count) ||
+      !fields.next_int("capacity", &decoded.total_capacity) ||
+      !fields.next_int("firings", &decoded.firings) ||
+      !fields.next("lateness", &lateness_text) ||
+      !fields.next_bool("fault_expected", &decoded.fault_margin_positive) ||
+      !fields.next_bool("fault_named", &decoded.fault_named)) {
+    return false;
+  }
+  const auto model_class = models::parse_model_class(class_text);
+  if (!model_class.has_value()) {
+    return false;
+  }
+  decoded.item.model_class = *model_class;
+  decoded.item.seed_ordinal = static_cast<std::uint64_t>(seed);
+  if (mode_text == "sink") {
+    decoded.item.mode = ConstraintMode::Sink;
+  } else if (mode_text == "source") {
+    decoded.item.mode = ConstraintMode::Source;
+  } else {
+    return false;
+  }
+  try {
+    decoded.max_lateness = Duration(Rational::from_string(lateness_text));
+  } catch (const Error&) {
+    return false;
+  }
+  *result = decoded;
+  return true;
+}
+
+FleetSweep::FleetSweep(SweepSpec spec) : spec_(std::move(spec)) {
+  VRDF_REQUIRE(!spec_.classes.empty(), "sweep needs at least one model class");
+  VRDF_REQUIRE(spec_.seeds_per_class > 0, "sweep needs at least one seed");
+  VRDF_REQUIRE(!spec_.headroom_levels.empty(),
+               "sweep needs at least one headroom level");
+  VRDF_REQUIRE(!spec_.modes.empty(), "sweep needs at least one mode");
+  VRDF_REQUIRE(spec_.observe_firings > 0, "need at least one observed firing");
+
+  for (const ModelClass model_class : spec_.classes) {
+    for (const ConstraintMode mode : spec_.modes) {
+      if (mode == ConstraintMode::Source &&
+          !class_has_source_mode(model_class)) {
+        continue;
+      }
+      for (const std::int64_t headroom : spec_.headroom_levels) {
+        VRDF_REQUIRE(headroom >= 0, "headroom levels must be non-negative");
+        for (std::int64_t ordinal = 1; ordinal <= spec_.seeds_per_class;
+             ++ordinal) {
+          FleetItem item;
+          item.index = items_.size();
+          item.model_class = model_class;
+          item.seed_ordinal = static_cast<std::uint64_t>(ordinal);
+          item.headroom = headroom;
+          item.mode = mode;
+          item.rng_seed = util::derive_seed(spec_.base_seed, item.index);
+          items_.push_back(item);
+        }
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "classes=";
+  for (std::size_t i = 0; i < spec_.classes.size(); ++i) {
+    os << (i == 0 ? "" : ",") << models::class_name(spec_.classes[i]);
+  }
+  os << " modes=";
+  for (std::size_t i = 0; i < spec_.modes.size(); ++i) {
+    os << (i == 0 ? "" : ",") << constraint_mode_name(spec_.modes[i]);
+  }
+  os << " headrooms=";
+  for (std::size_t i = 0; i < spec_.headroom_levels.size(); ++i) {
+    os << (i == 0 ? "" : ",") << spec_.headroom_levels[i];
+  }
+  os << " seeds_per_class=" << spec_.seeds_per_class
+     << " base_seed=" << spec_.base_seed
+     << " response_fraction=" << spec_.response_fraction.to_string()
+     << " variable=" << spec_.variable_percent
+     << " zero=" << spec_.zero_percent
+     << " observe=" << spec_.observe_firings
+     << " faulted=" << (spec_.faulted ? 1 : 0)
+     << " generator=" << (spec_.generator ? "custom" : "default")
+     << " items=" << items_.size();
+  spec_summary_ = os.str();
+  fingerprint_ = fingerprint_text(spec_summary_, spec_.journal_tag);
+}
+
+FleetItemResult FleetSweep::run_item(const FleetItem& item) const {
+  FleetItemResult result;
+  result.item = item;
+  try {
+    models::SyntheticModel model;
+    if (spec_.generator) {
+      model = spec_.generator(item);
+    } else {
+      models::RandomModelSpec random;
+      random.model_class = item.model_class;
+      random.seed = item.rng_seed;
+      random.response_fraction = spec_.response_fraction;
+      random.variable_percent = spec_.variable_percent;
+      random.zero_percent = spec_.zero_percent;
+      random.source_constrained = item.mode == ConstraintMode::Source;
+      model = models::make_random_model(random);
+    }
+
+    const analysis::GraphAnalysis sized =
+        analysis::compute_buffer_capacities(model.graph, model.constraints);
+    if (!sized.admissible) {
+      result.rejected = true;
+      result.detail = sized.diagnostics.empty() ? "analysis rejected the model"
+                                                : sized.diagnostics.front();
+      return result;
+    }
+    result.total_capacity = sized.total_capacity;
+    analysis::apply_capacities(model.graph, sized);
+    if (item.headroom > 0) {
+      for (const analysis::PairAnalysis& pair : sized.pairs) {
+        const dataflow::EdgeId space = pair.buffer.space;
+        model.graph.set_initial_tokens(
+            space, model.graph.edge(space).initial_tokens + item.headroom);
+      }
+    }
+
+    VerifyOptions options;
+    options.observe_firings = spec_.observe_firings;
+    options.default_seed = util::derive_seed(item.rng_seed, 1);
+    options.monitor = spec_.faulted;
+
+    SimulatorConfigurer configure;
+    FaultPlan plan(item.rng_seed);
+    dataflow::ActorId faulted_actor;
+    if (spec_.faulted) {
+      const analysis::RobustnessReport margins =
+          analysis::robustness_margins(model.graph, model.constraints);
+      if (!margins.ok) {
+        result.rejected = true;
+        result.detail = margins.diagnostics.empty()
+                            ? "robustness margins unavailable"
+                            : margins.diagnostics.front();
+        return result;
+      }
+      // Inject the strongest within-margin stress: the whole tolerable
+      // overrun of the largest-margin actor, on every firing.
+      const analysis::ActorMargin* target = &margins.actors.front();
+      for (const analysis::ActorMargin& margin : margins.actors) {
+        if (margin.margin > target->margin) {
+          target = &margin;
+        }
+      }
+      faulted_actor = target->actor;
+      result.fault_margin_positive = target->margin.is_positive();
+      plan.rho_overrun(target->actor, target->margin);
+      configure = [&plan](Simulator& sim) { plan.apply(sim); };
+    }
+
+    const VerifyResult verdict =
+        verify_throughput(model.graph, model.constraints, configure, options);
+    result.pass = verdict.ok;
+    result.starvation_count = verdict.starvation_count;
+    result.firings = verdict.firings_simulated;
+    result.max_lateness = verdict.max_lateness_phase1;
+    if (!verdict.ok) {
+      result.detail = verdict.detail;
+    }
+    if (spec_.faulted && verdict.monitor.has_value() &&
+        !verdict.monitor->rho_conformant) {
+      for (const RhoViolation& violation : verdict.monitor->rho_violations) {
+        if (violation.actor == faulted_actor) {
+          result.fault_named = true;
+          break;
+        }
+      }
+    }
+  } catch (const Error& error) {
+    result.pass = false;
+    result.rejected = true;
+    result.detail = error.what();
+  }
+  return result;
+}
+
+FleetReport FleetSweep::run(std::size_t threads,
+                            io::FleetJournal* journal) const {
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<FleetItemResult> results(items_.size());
+  std::vector<char> done(items_.size(), 0);
+  std::size_t resumed = 0;
+  if (journal != nullptr) {
+    VRDF_REQUIRE(journal->fingerprint() == fingerprint_,
+                 "journal was written for a different sweep spec");
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (journal->lookup(i, &results[i])) {
+        done[i] = 1;
+        ++resumed;
+      }
+    }
+  }
+
+  std::int64_t fresh_firings = 0;
+  const auto work = [&](std::size_t i) {
+    results[i] = run_item(items_[i]);
+    if (journal != nullptr) {
+      journal->record(results[i]);  // thread-safe append + flush
+    }
+  };
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (!done[i]) {
+        work(i);
+      }
+    }
+  } else {
+    util::ThreadPool pool(threads);
+    std::vector<std::future<void>> futures;
+    futures.reserve(items_.size());
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      if (!done[i]) {
+        futures.push_back(pool.submit([&work, i] { work(i); }));
+      }
+    }
+    for (std::future<void>& future : futures) {
+      future.get();  // propagate the first worker exception, if any
+    }
+  }
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (!done[i]) {
+      fresh_firings += results[i].firings;
+    }
+  }
+
+  // Merge in item order — the aggregation is independent of which worker
+  // finished when, so the report bytes match across thread counts.
+  FleetReport report;
+  report.spec_summary = spec_summary_;
+  report.classes.reserve(spec_.classes.size());
+  for (const ModelClass model_class : spec_.classes) {
+    FleetClassTally tally;
+    tally.model_class = model_class;
+    report.classes.push_back(tally);
+  }
+  for (const FleetItemResult& result : results) {
+    for (FleetClassTally& tally : report.classes) {
+      if (tally.model_class == result.item.model_class) {
+        tally_item(tally, result);
+        break;
+      }
+    }
+  }
+  for (const FleetClassTally& tally : report.classes) {
+    report.total_items += tally.items;
+    report.passed += tally.passed;
+    report.failed += tally.failed;
+    report.rejected += tally.rejected;
+    report.starvations += tally.starvations;
+    report.total_capacity += tally.total_capacity;
+    report.firings += tally.firings;
+    if (tally.worst_lateness > report.worst_lateness) {
+      report.worst_lateness = tally.worst_lateness;
+    }
+    report.faults_expected += tally.faults_expected;
+    report.faults_named += tally.faults_named;
+  }
+  report.items = std::move(results);
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - started;
+  report.elapsed_seconds = elapsed.count();
+  report.firings_per_second = report.elapsed_seconds > 0.0
+                                  ? static_cast<double>(fresh_firings) /
+                                        report.elapsed_seconds
+                                  : 0.0;
+  report.threads_used = std::max<std::size_t>(threads, 1);
+  report.items_resumed = resumed;
+  return report;
+}
+
+std::string canonical_text(const FleetReport& report, bool include_items) {
+  std::ostringstream os;
+  os << "vrdf-fleet-report v1\n";
+  os << "spec " << report.spec_summary << '\n';
+  for (const FleetClassTally& tally : report.classes) {
+    os << "class " << models::class_name(tally.model_class) << ' ';
+    write_tally_fields(os, tally);
+    os << '\n';
+  }
+  FleetClassTally totals;
+  totals.items = report.total_items;
+  totals.passed = report.passed;
+  totals.failed = report.failed;
+  totals.rejected = report.rejected;
+  totals.starvations = report.starvations;
+  totals.total_capacity = report.total_capacity;
+  totals.firings = report.firings;
+  totals.worst_lateness = report.worst_lateness;
+  totals.faults_expected = report.faults_expected;
+  totals.faults_named = report.faults_named;
+  os << "total ";
+  write_tally_fields(os, totals);
+  os << '\n';
+  if (include_items) {
+    for (const FleetItemResult& item : report.items) {
+      os << encode_item_line(item) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string summary_text(const FleetReport& report) {
+  std::ostringstream os;
+  os << canonical_text(report, /*include_items=*/false);
+  os << "threads " << report.threads_used << "\n";
+  os << "resumed " << report.items_resumed << " items\n";
+  os << "elapsed " << report.elapsed_seconds << " s ("
+     << report.firings_per_second << " firings/s aggregate)\n";
+  return os.str();
+}
+
+}  // namespace vrdf::sim

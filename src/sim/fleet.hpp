@@ -1,0 +1,223 @@
+// Fleet-scale parallel verification: a sharded sweep harness that runs
+// thousands of generate → analyze → two-phase-verify pipelines on a
+// thread pool and aggregates the verdicts into one report.
+//
+// The randomized sweeps of PRs 2–7 validate the paper's analysis on
+// 40–60 graphs per model class — a coverage ceiling set by one core, not
+// a confidence target.  FleetSweep lifts that ceiling: a SweepSpec
+// expands into independent work items (model classes × seed ordinals ×
+// headroom levels × sink/source modes), each item runs its whole
+// pipeline in isolation on a util::ThreadPool worker, and the results
+// merge into a FleetReport.
+//
+// Determinism rules — the report's canonical serialization is
+// bit-identical regardless of thread count and across interrupt+resume:
+//  * Every item derives its RNG stream statelessly:
+//    rng_seed = util::derive_seed(base_seed, item index).  No item reads
+//    another item's state, a worker-local counter, or a thread id.
+//  * Items write only their own pre-allocated result slot; results merge
+//    in item-index order after the pool drains.
+//  * Wall-clock metrics (elapsed seconds, firings/s, threads, resumed
+//    count) live in FleetReport but are excluded from canonical_text().
+//
+// Resumability: pass an io::FleetJournal and every finished item is
+// appended to it; on restart, journaled items are merged back without
+// recompute, so an interrupted 10k-model sweep continues where it left
+// off and still produces the canonical bytes of an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/synthetic.hpp"
+#include "sim/verify.hpp"
+#include "util/rational.hpp"
+#include "util/time.hpp"
+
+namespace vrdf::io {
+class FleetJournal;
+}  // namespace vrdf::io
+
+namespace vrdf::sim {
+
+/// Which end of the generated model carries the throughput constraint.
+enum class ConstraintMode { Sink, Source };
+
+[[nodiscard]] const char* constraint_mode_name(ConstraintMode mode);
+
+/// One independent unit of fleet work, fully determined by the spec and
+/// its index — workers receive items by value and share nothing.
+struct FleetItem {
+  /// Position in the spec's expansion order; also the journal key.
+  std::size_t index = 0;
+  models::ModelClass model_class = models::ModelClass::Chain;
+  /// 1-based ordinal within (class, mode, headroom) — the "seed" a human
+  /// reads in the report.  Custom generators may use it to reproduce a
+  /// published per-seed shape schedule.
+  std::uint64_t seed_ordinal = 1;
+  std::int64_t headroom = 0;
+  ConstraintMode mode = ConstraintMode::Sink;
+  /// splitmix64(base_seed, index) — the item's actual RNG stream.
+  std::uint64_t rng_seed = 0;
+};
+
+struct SweepSpec {
+  /// Classes swept, in report order.  Defaults to all five.
+  std::vector<models::ModelClass> classes{
+      models::ModelClass::Chain,           models::ModelClass::ForkJoin,
+      models::ModelClass::Cyclic,          models::ModelClass::MultiConstraint,
+      models::ModelClass::InteriorPinned};
+  std::uint64_t base_seed = 1;
+  /// Seed ordinals 1..seeds_per_class per (class, mode, headroom) cell.
+  std::int64_t seeds_per_class = 40;
+  /// Capacity headroom levels swept (containers added per buffer).
+  std::vector<std::int64_t> headroom_levels{0};
+  /// Constraint placements swept.  Source mode is skipped for
+  /// MultiConstraint and InteriorPinned — those classes have no
+  /// source-constrained form.
+  std::vector<ConstraintMode> modes{ConstraintMode::Sink};
+  /// Generator knobs forwarded to models::make_random_model.
+  Rational response_fraction = Rational(1, 2);
+  int variable_percent = 50;
+  int zero_percent = 20;
+  /// Firings of the leading constrained actor simulated per phase.
+  std::int64_t observe_firings = 300;
+  /// Faulted sweep: each item additionally computes its robustness
+  /// margins, injects the maximal within-margin ρ overrun on the actor
+  /// with the largest margin (FaultPlan seeded from the item's stream),
+  /// and verifies under the ConformanceMonitor — the constraint must
+  /// still hold while the monitor names the breach.
+  bool faulted = false;
+  /// Optional custom generator (e.g. to preserve a published per-seed
+  /// shape schedule).  Must be a *pure* function of the item — it is
+  /// called concurrently from pool workers.  Return the bare model
+  /// (scaled response times, no capacities installed); the fleet
+  /// analyzes, installs capacities plus the item's headroom, and
+  /// verifies.  When unset, models::make_random_model(item.rng_seed)
+  /// generates.
+  std::function<models::SyntheticModel(const FleetItem&)> generator;
+  /// Mixed into the journal fingerprint so callers with a custom
+  /// generator can version their journals (the function itself cannot be
+  /// fingerprinted).
+  std::uint64_t journal_tag = 0;
+};
+
+/// Deterministic verdict of one item.  Every field participates in the
+/// canonical serialization and the journal round-trip.
+struct FleetItemResult {
+  FleetItem item;
+  bool pass = false;
+  /// The pipeline refused before simulating: inadmissible analysis,
+  /// margins not ok (faulted mode), or a generator/contract error —
+  /// `detail` says which.
+  bool rejected = false;
+  std::int64_t starvation_count = 0;
+  /// Analysed total capacity (Σζ, headroom excluded); 0 when rejected.
+  std::int64_t total_capacity = 0;
+  /// Firings simulated across both verify phases; 0 when rejected.
+  std::int64_t firings = 0;
+  /// Phase-1 max lateness of the leading constrained actor.
+  Duration max_lateness;
+  /// Faulted mode: the injected margin was positive, and the monitor
+  /// attributed the ρ breach to the faulted actor.
+  bool fault_margin_positive = false;
+  bool fault_named = false;
+  /// Empty on pass; diagnostics otherwise (newlines preserved).
+  std::string detail;
+};
+
+/// Journal/report line codec for one item result (single line, newlines
+/// in `detail` escaped).  decode returns false on a malformed line.
+[[nodiscard]] std::string encode_item_line(const FleetItemResult& result);
+[[nodiscard]] bool decode_item_line(const std::string& line,
+                                    FleetItemResult* result);
+
+/// Per-class aggregation, in SweepSpec::classes order.
+struct FleetClassTally {
+  models::ModelClass model_class = models::ModelClass::Chain;
+  std::int64_t items = 0;
+  std::int64_t passed = 0;
+  std::int64_t failed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t starvations = 0;
+  std::int64_t total_capacity = 0;
+  std::int64_t firings = 0;
+  Duration worst_lateness;
+  /// Faulted mode: items whose injected margin was positive / whose
+  /// breach the monitor named.
+  std::int64_t faults_expected = 0;
+  std::int64_t faults_named = 0;
+};
+
+struct FleetReport {
+  /// Canonical one-line summary of the spec that produced this report.
+  std::string spec_summary;
+  std::vector<FleetClassTally> classes;
+  /// Every item verdict, in item-index order.
+  std::vector<FleetItemResult> items;
+  // Grand totals (sums/maxima over `classes`).
+  std::int64_t total_items = 0;
+  std::int64_t passed = 0;
+  std::int64_t failed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t starvations = 0;
+  std::int64_t total_capacity = 0;
+  std::int64_t firings = 0;
+  Duration worst_lateness;
+  std::int64_t faults_expected = 0;
+  std::int64_t faults_named = 0;
+  // ---- wall-clock section: excluded from canonical_text() ----
+  double elapsed_seconds = 0.0;
+  double firings_per_second = 0.0;
+  std::size_t threads_used = 1;
+  /// Items merged from the journal instead of recomputed.
+  std::size_t items_resumed = 0;
+};
+
+/// The deterministic serialization: spec summary, per-class tallies,
+/// totals and (when `include_items`) every item line.  Bit-identical
+/// across thread counts and across interrupt+resume.
+[[nodiscard]] std::string canonical_text(const FleetReport& report,
+                                         bool include_items = true);
+
+/// Human summary for CLIs: canonical tallies plus the wall-clock section.
+[[nodiscard]] std::string summary_text(const FleetReport& report);
+
+class FleetSweep {
+ public:
+  explicit FleetSweep(SweepSpec spec);
+
+  /// The spec's expansion, in item-index order.
+  [[nodiscard]] const std::vector<FleetItem>& items() const { return items_; }
+
+  /// Canonical spec summary line (also FleetReport::spec_summary).
+  [[nodiscard]] const std::string& spec_summary() const {
+    return spec_summary_;
+  }
+
+  /// Fingerprint binding a journal to this spec (classes, counts, knobs,
+  /// journal_tag — not the custom generator, see SweepSpec::journal_tag).
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Runs every item and aggregates.  `threads` <= 1 runs inline on the
+  /// caller (no pool, byte-identical to the pre-fleet loops); larger
+  /// values run on a pool of that many workers.  With a journal,
+  /// already-recorded items are merged without recompute and new results
+  /// are appended as they finish.
+  [[nodiscard]] FleetReport run(std::size_t threads = 1,
+                                io::FleetJournal* journal = nullptr) const;
+
+  /// Runs one item's pipeline — the unit the pool executes, public for
+  /// per-item overhead benchmarking and tests.
+  [[nodiscard]] FleetItemResult run_item(const FleetItem& item) const;
+
+ private:
+  SweepSpec spec_;
+  std::vector<FleetItem> items_;
+  std::string spec_summary_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace vrdf::sim

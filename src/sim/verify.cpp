@@ -58,6 +58,7 @@ VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
   stop.firing_target = StopCondition::FiringTarget{constraints.front().actor,
                                                    options.observe_firings};
   const RunResult run1 = phase1.run(stop);
+  result.firings_simulated += run1.total_firings;
   if (run1.reason != StopReason::ReachedFiringTarget) {
     std::ostringstream os;
     os << "phase 1 (self-timed) stopped early: "
@@ -141,6 +142,7 @@ VerifyResult verify_throughput(const dataflow::VrdfGraph& graph,
       monitor->attach(phase2);
     }
     run2 = phase2.run(stop);
+    result.firings_simulated += run2.total_firings;
     if (monitor.has_value()) {
       monitor->observe(phase2, run2);
       result.monitor = monitor->report();

@@ -54,6 +54,9 @@ struct VerifyResult {
   /// Phase-1 maximum lateness of the constrained actor versus the periodic
   /// reference anchored at its first start.
   Duration max_lateness_phase1;
+  /// Total firings simulated across both phases (including phase-2 offset
+  /// retries) — the work metric aggregated by fleet sweeps.
+  std::int64_t firings_simulated = 0;
   /// Phase-2 conformance report when VerifyOptions::monitor is set.
   std::optional<MonitorReport> monitor;
 };

@@ -1,0 +1,51 @@
+// Deterministic seed derivation shared by every component that fans a
+// published base seed out into independent RNG streams.
+//
+// The library's reproducibility story rests on *stateless* derivation: a
+// stream seed is a pure function of (base seed, stream index), so any
+// worker — on any thread, in any order, after any interrupt/resume — can
+// reconstruct exactly the stream it is responsible for.  The mixer is the
+// splitmix64 finalizer over a golden-ratio keyed input, the same
+// construction the fault injector has used since PR 6; it is extracted
+// here so FleetSweep item streams, synthetic-model generators and fault
+// plans all share one audited formula.
+//
+// Stability contract: the functions below are *published*.  Identical
+// (base, index) inputs must keep producing identical outputs across PRs —
+// recorded seeds in tests, docs and fleet journals depend on it.  A
+// golden-value regression test (tests/test_fleet.cpp) locks the bits.
+#pragma once
+
+#include <cstdint>
+
+namespace vrdf::util {
+
+/// 2^64 / φ — the splitmix64 increment ("golden gamma").
+inline constexpr std::uint64_t kGoldenGamma = 0x9E3779B97F4A7C15ULL;
+
+/// The splitmix64 output mixer: a bijective avalanche over 64 bits.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stream seed for `index` under `base`: splitmix64 over the golden-keyed
+/// pair.  Consecutive indices yield statistically independent streams;
+/// distinct bases never collide on overlapping index ranges in practice
+/// (the mixer is bijective in base for fixed index and vice versa).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                                  std::uint64_t index) {
+  return mix64(base * kGoldenGamma + index);
+}
+
+/// Legacy decorrelation kept bit-compatible with the PR 3 cyclic
+/// generator: make_random_cyclic perturbs its base seed so a cyclic model
+/// and the fork-join model of the same published seed draw different
+/// streams.  New call sites should prefer derive_seed; this exists so the
+/// published cyclic seeds keep producing identical models.
+[[nodiscard]] constexpr std::uint64_t decorrelate(std::uint64_t base) {
+  return base ^ kGoldenGamma;
+}
+
+}  // namespace vrdf::util

@@ -1,0 +1,68 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace vrdf::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  VRDF_REQUIRE(threads >= 1, "a thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  VRDF_REQUIRE(static_cast<bool>(task), "cannot submit an empty task");
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    VRDF_REQUIRE(!stopping_, "cannot submit to a stopping thread pool");
+    queue_.push_back(std::move(packaged));
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and fully drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();  // exceptions land in the task's future
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace vrdf::util

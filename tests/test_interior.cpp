@@ -14,6 +14,7 @@
 #include "io/report.hpp"
 #include "io/text_format.hpp"
 #include "models/synthetic.hpp"
+#include "sim/fleet.hpp"
 #include "sim/verify.hpp"
 #include "util/error.hpp"
 
@@ -141,33 +142,32 @@ TEST(Interior, PinnedForkJoinThroughTheInteriorJoin) {
 // ----------------------------------------------- random interior-pin sweep
 
 TEST(Interior, RandomInteriorPinnedChainsSustainPeriodicExecution) {
-  // The acceptance check: ≥ 40 random interior-pinned chains pass the
-  // two-phase simulation harness with zero phase-2 starvations.
-  int verified = 0;
-  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
-    models::RandomInteriorPinSpec spec;
-    spec.seed = seed;
-    spec.upstream_length = 1 + seed % 3;
-    spec.downstream_length = 1 + (seed / 3) % 3;
-    spec.variable_percent = 60;
-    spec.zero_percent = 25;
-    const models::SyntheticChain model = models::make_random_interior_pinned(spec);
-    const GraphAnalysis sized =
-        compute_buffer_capacities(model.graph, model.constraint);
-    ASSERT_TRUE(sized.admissible)
-        << "seed " << seed << ": " << sized.diagnostics[0];
-    VrdfGraph graph = model.graph;
-    apply_capacities(graph, sized);
-    sim::VerifyOptions options;
-    options.observe_firings = 400;
-    options.default_seed = seed * 11 + 3;
-    const sim::VerifyResult verdict =
-        sim::verify_throughput(graph, model.constraint, {}, options);
-    EXPECT_TRUE(verdict.ok) << "seed " << seed << ": " << verdict.detail;
-    EXPECT_EQ(verdict.starvation_count, 0) << "seed " << seed;
-    ++verified;
-  }
-  EXPECT_GE(verified, 40);
+  // The acceptance check, through the fleet harness (PR 8): 60 random
+  // interior-pinned chains — up from 40 — pass the two-phase simulation
+  // harness with zero phase-2 starvations.  The generator preserves the
+  // PR 5 per-seed shape schedule.
+  sim::SweepSpec spec;
+  spec.classes = {models::ModelClass::InteriorPinned};
+  spec.seeds_per_class = 60;
+  spec.observe_firings = 400;
+  spec.generator = [](const sim::FleetItem& item) {
+    models::RandomInteriorPinSpec pin;
+    pin.seed = item.seed_ordinal;
+    pin.upstream_length = 1 + item.seed_ordinal % 3;
+    pin.downstream_length = 1 + (item.seed_ordinal / 3) % 3;
+    pin.variable_percent = 60;
+    pin.zero_percent = 25;
+    models::SyntheticChain generated = models::make_random_interior_pinned(pin);
+    models::SyntheticModel model;
+    model.graph = std::move(generated.graph);
+    model.constraints = {generated.constraint};
+    return model;
+  };
+  const sim::FleetReport report = sim::FleetSweep(spec).run(4);
+  EXPECT_EQ(report.total_items, 60);
+  EXPECT_EQ(report.passed, report.total_items) << sim::canonical_text(report);
+  EXPECT_EQ(report.failed + report.rejected, 0);
+  EXPECT_EQ(report.starvations, 0);
 }
 
 // ------------------------------------------------------ min-period solvers

@@ -8,6 +8,7 @@
 #include "analysis/buffer_sizing.hpp"
 #include "dataflow/validation.hpp"
 #include "models/synthetic.hpp"
+#include "sim/fleet.hpp"
 #include "sim/verify.hpp"
 
 namespace vrdf {
@@ -37,35 +38,30 @@ TEST_P(RandomChainSweep, GeneratedChainsAreValidAndAdmissible) {
   }
 }
 
-TEST_P(RandomChainSweep, ComputedCapacitiesPassSimulation) {
-  RandomChainSpec spec;
-  spec.seed = std::get<0>(GetParam());
-  spec.source_constrained = std::get<1>(GetParam());
-  spec.length = 3 + spec.seed % 3;
-  // Leave some slack so simulations converge quickly, like real systems do.
-  spec.response_fraction = Rational(3, 4);
-  SyntheticChain chain = models::make_random_chain(spec);
-  const GraphAnalysis analysis =
-      analysis::compute_buffer_capacities(chain.graph, chain.constraint);
-  ASSERT_TRUE(analysis.admissible);
-  analysis::apply_capacities(chain.graph, analysis);
-
-  sim::VerifyOptions options;
-  options.observe_firings = 1500;
-  for (const std::uint64_t stream_seed : {1ULL, 99ULL}) {
-    options.default_seed = stream_seed;
-    const sim::VerifyResult result =
-        sim::verify_throughput(chain.graph, chain.constraint, {}, options);
-    EXPECT_TRUE(result.ok) << "seed=" << spec.seed
-                           << " stream=" << stream_seed << ": "
-                           << result.detail;
-  }
-}
-
 INSTANTIATE_TEST_SUITE_P(
     SinkAndSource, RandomChainSweep,
     ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u),
                        ::testing::Bool()));
+
+TEST(RandomChainSweep, FleetVerifiesComputedCapacitiesAtScale) {
+  // The simulation half of the sweep, through the sharded fleet harness
+  // (PR 8): 64 chains per constraint placement — an 8x raise over the
+  // 8-seed parameterized loop this replaces — each running the full
+  // generate -> analyze -> two-phase-verify pipeline on pool workers.
+  sim::SweepSpec spec;
+  spec.classes = {models::ModelClass::Chain};
+  spec.seeds_per_class = 64;
+  spec.modes = {sim::ConstraintMode::Sink, sim::ConstraintMode::Source};
+  // Leave some slack so simulations converge quickly, like real systems do.
+  spec.response_fraction = Rational(3, 4);
+  spec.observe_firings = 800;
+  const sim::FleetReport report = sim::FleetSweep(spec).run(4);
+  EXPECT_EQ(report.total_items, 128);
+  EXPECT_EQ(report.passed, report.total_items)
+      << sim::canonical_text(report);
+  EXPECT_EQ(report.failed + report.rejected, 0);
+  EXPECT_EQ(report.starvations, 0);
+}
 
 TEST(VideoPipeline, AdmissibleAndVerified) {
   SyntheticChain chain = models::make_video_pipeline();
