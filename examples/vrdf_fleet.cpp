@@ -13,6 +13,8 @@
 //   --observe N                     firings observed per verify phase
 //   --base-seed N                   RNG base (items derive via splitmix64)
 //   --faulted                       inject within-margin faults + monitor
+//   --certify                       emit + independently check a capacity
+//                                   certificate for every analysis
 //   --journal PATH                  resumable journal (rerun to resume)
 //   --items                         print every item line, not just tallies
 //
@@ -40,7 +42,7 @@ using vrdf::sim::ConstraintMode;
             << "usage: vrdf_fleet [--classes LIST] [--seeds N] [--threads N]\n"
             << "                  [--headroom LIST] [--modes LIST]\n"
             << "                  [--observe N] [--base-seed N] [--faulted]\n"
-            << "                  [--journal PATH] [--items]\n";
+            << "                  [--certify] [--journal PATH] [--items]\n";
   std::exit(2);
 }
 
@@ -133,6 +135,8 @@ int main(int argc, char** argv) {
       spec.base_seed = static_cast<std::uint64_t>(parse_count(flag, value()));
     } else if (flag == "--faulted") {
       spec.faulted = true;
+    } else if (flag == "--certify") {
+      spec.certify = true;
     } else if (flag == "--journal") {
       journal_path = value();
     } else if (flag == "--items") {

@@ -24,6 +24,30 @@ AdmissionDecision reject(const GraphAnalysis& candidate) {
   return decision;
 }
 
+/// An admissible candidate whose certificate failed the independent
+/// checker: the violated clause is the binding constraint.
+AdmissionDecision reject_uncertified(const ClauseViolation& violation) {
+  AdmissionDecision decision;
+  decision.binding_constraint = "certificate: " + describe(violation);
+  decision.diagnostics.push_back(decision.binding_constraint);
+  return decision;
+}
+
+/// accept/reject dispatch shared by the four decision paths.
+AdmissionDecision decide(const IncrementalAnalysis& engine,
+                         std::int64_t total_before, bool* accepted) {
+  const GraphAnalysis& candidate = engine.analysis();
+  if (candidate.admissible &&
+      !engine.last_certificate_violation().has_value()) {
+    *accepted = true;
+    return accept(candidate, total_before);
+  }
+  *accepted = false;
+  return engine.last_certificate_violation().has_value()
+             ? reject_uncertified(*engine.last_certificate_violation())
+             : reject(candidate);
+}
+
 }  // namespace
 
 AdmissionController::AdmissionController(const TopologySnapshot& snapshot,
@@ -47,11 +71,11 @@ AdmissionDecision AdmissionController::admit(
   }
   const std::int64_t before = engine_.analysis().total_capacity;
   engine_.admit(stream);
-  const GraphAnalysis& candidate = engine_.analysis();
-  if (candidate.admissible) {
-    return accept(candidate, before);
+  bool accepted = false;
+  AdmissionDecision decision = decide(engine_, before, &accepted);
+  if (accepted) {
+    return decision;
   }
-  AdmissionDecision decision = reject(candidate);
   engine_.remove(stream.actor);
   decision.total_capacity = engine_.analysis().total_capacity;
   return decision;
@@ -73,11 +97,11 @@ AdmissionDecision AdmissionController::remove(dataflow::ActorId actor) {
   VRDF_REQUIRE(found, "remove: actor carries no stream constraint");
   const std::int64_t before = engine_.analysis().total_capacity;
   engine_.remove(actor);
-  const GraphAnalysis& candidate = engine_.analysis();
-  if (candidate.admissible) {
-    return accept(candidate, before);
+  bool accepted = false;
+  AdmissionDecision decision = decide(engine_, before, &accepted);
+  if (accepted) {
+    return decision;
   }
-  AdmissionDecision decision = reject(candidate);
   engine_.admit(removed);
   decision.total_capacity = engine_.analysis().total_capacity;
   return decision;
@@ -91,11 +115,11 @@ AdmissionDecision AdmissionController::retune(dataflow::ActorId actor,
   }
   const std::int64_t before = engine_.analysis().total_capacity;
   engine_.retune(actor, rho);
-  const GraphAnalysis& candidate = engine_.analysis();
-  if (candidate.admissible) {
-    return accept(candidate, before);
+  bool accepted = false;
+  AdmissionDecision decision = decide(engine_, before, &accepted);
+  if (accepted) {
+    return decision;
   }
-  AdmissionDecision decision = reject(candidate);
   if (previous.has_value()) {
     engine_.retune(actor, *previous);
   } else {
@@ -118,14 +142,19 @@ AdmissionDecision AdmissionController::set_period(dataflow::ActorId actor,
                "set_period: actor carries no stream constraint");
   const std::int64_t before = engine_.analysis().total_capacity;
   engine_.set_period(actor, tau);
-  const GraphAnalysis& candidate = engine_.analysis();
-  if (candidate.admissible) {
-    return accept(candidate, before);
+  bool accepted = false;
+  AdmissionDecision decision = decide(engine_, before, &accepted);
+  if (accepted) {
+    return decision;
   }
-  AdmissionDecision decision = reject(candidate);
   engine_.set_period(actor, *previous);
   decision.total_capacity = engine_.analysis().total_capacity;
   return decision;
+}
+
+void AdmissionController::set_require_certificate(bool require) {
+  require_certificate_ = require;
+  engine_.set_certify(require);
 }
 
 }  // namespace vrdf::analysis

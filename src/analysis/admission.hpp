@@ -73,6 +73,19 @@ public:
   /// May the stream pinned at `actor` move to period `tau`?
   AdmissionDecision set_period(dataflow::ActorId actor, Duration tau);
 
+  /// Certificate gating: puts the engine in certify mode, so every
+  /// decision's candidate analysis is transcribed into a certificate and
+  /// re-validated by the independent checker (analysis/checker.hpp)
+  /// before it may be committed.  An admissible candidate whose
+  /// certificate fails a clause is treated as a rejection — the
+  /// violation becomes the binding constraint and the change rolls
+  /// back — so a checker/analyzer disagreement can never enter the
+  /// serviced state.
+  void set_require_certificate(bool require);
+  [[nodiscard]] bool require_certificate() const {
+    return require_certificate_;
+  }
+
   /// The serviced (always admissible) analysis state.
   [[nodiscard]] const GraphAnalysis& analysis() const {
     return engine_.analysis();
@@ -85,6 +98,7 @@ public:
 private:
   AdmissionDecision decide_(std::int64_t total_before);
   IncrementalAnalysis engine_;
+  bool require_certificate_ = false;
 };
 
 }  // namespace vrdf::analysis

@@ -293,6 +293,7 @@ GraphAnalysis compute_buffer_capacities(const TopologySnapshot& snapshot,
                                         const AnalysisOptions& options,
                                         const ParameterOverlay& overlay) {
   GraphAnalysis analysis;
+  analysis.rounding = options.rounding;
 
   PacingResult pacing = compute_pacing(snapshot, constraints);
   analysis.diagnostics = pacing.diagnostics;
@@ -316,6 +317,10 @@ GraphAnalysis compute_buffer_capacities(const TopologySnapshot& snapshot,
 
   const std::vector<Duration> lead =
       detail::compute_alignment_leads(graph, overlay, pacing);
+  analysis.leads.reserve(pacing.actors_in_order.size());
+  for (const dataflow::ActorId v : pacing.actors_in_order) {
+    analysis.leads.push_back(lead[v.index()]);
+  }
 
   bool admissible = true;
   analysis.pairs.reserve(pacing.buffers_in_order.size());

@@ -1,5 +1,6 @@
 #include "analysis/incremental.hpp"
 
+#include "analysis/certificate.hpp"
 #include "analysis/sizing_core.hpp"
 #include "util/checked_int.hpp"
 #include "util/error.hpp"
@@ -38,12 +39,41 @@ const GraphAnalysis& IncrementalAnalysis::analysis() const {
   return analysis_;
 }
 
+void IncrementalAnalysis::set_certify(bool enabled) {
+  certify_enabled_ = enabled;
+  if (!enabled) {
+    last_violation_.reset();
+  }
+}
+
+void IncrementalAnalysis::run_certification_() {
+  last_violation_.reset();
+  if (!certify_enabled_ || !analysis_.admissible) {
+    return;
+  }
+  const Certificate cert =
+      make_certificate(snapshot_.graph(), analysis_, overlay_);
+  CheckerOptions checker_options;
+  // The engine's ρ/δ live in its overlay, not in the graph; the
+  // certificate records the overlay-resolved values.
+  checker_options.bind_parameters_to_graph = false;
+  const CertificateCheck check =
+      check_certificate(snapshot_.graph(), cert, checker_options);
+  ++stats_.certificates_checked;
+  stats_.certificate_clauses += check.clauses_checked;
+  if (!check.ok) {
+    stats_.certificate_violations += check.violations.size();
+    last_violation_ = check.violations.front();
+  }
+}
+
 void IncrementalAnalysis::retune(dataflow::ActorId actor, Duration rho) {
   snapshot_.require_fresh();
   (void)snapshot_.graph().actor(actor);  // range check before caching
   ++stats_.queries;
   overlay_.set_response_time(actor, rho);
   apply_rho_change_(actor);
+  run_certification_();
 }
 
 void IncrementalAnalysis::clear_retune(dataflow::ActorId actor) {
@@ -52,6 +82,7 @@ void IncrementalAnalysis::clear_retune(dataflow::ActorId actor) {
   ++stats_.queries;
   overlay_.clear_response_time(actor);
   apply_rho_change_(actor);
+  run_certification_();
 }
 
 void IncrementalAnalysis::set_period(dataflow::ActorId actor, Duration tau) {
@@ -85,9 +116,11 @@ void IncrementalAnalysis::set_period(dataflow::ActorId actor, Duration tau) {
     pacing_.constraints[index].period = tau;
     ++stats_.pacing_cache_hits;
     resize_from_pacing_();
+    run_certification_();
     return;
   }
   repropagate_();
+  run_certification_();
 }
 
 void IncrementalAnalysis::admit(const ThroughputConstraint& stream) {
@@ -95,6 +128,7 @@ void IncrementalAnalysis::admit(const ThroughputConstraint& stream) {
   ++stats_.queries;
   constraints_.push_back(stream);
   repropagate_();
+  run_certification_();
 }
 
 void IncrementalAnalysis::remove(dataflow::ActorId actor) {
@@ -112,6 +146,7 @@ void IncrementalAnalysis::remove(dataflow::ActorId actor) {
   constraints_.erase(constraints_.begin() +
                      static_cast<std::ptrdiff_t>(index));
   repropagate_();
+  run_certification_();
 }
 
 void IncrementalAnalysis::set_initial_tokens(dataflow::EdgeId edge,
@@ -146,6 +181,7 @@ void IncrementalAnalysis::set_initial_tokens(dataflow::EdgeId edge,
   if (!pacing_.ok || !rho_ok_) {
     // δ enters neither pacing nor the ρ checks; the failed shape stands.
     render_();
+    run_certification_();
     return;
   }
   if (!sized_valid_) {
@@ -154,6 +190,7 @@ void IncrementalAnalysis::set_initial_tokens(dataflow::EdgeId edge,
     recompute_all_pairs_();
     sized_valid_ = true;
     render_();
+    run_certification_();
     return;
   }
   // Pacing and leads are δ-independent; only the pair whose circulating
@@ -175,6 +212,7 @@ void IncrementalAnalysis::set_initial_tokens(dataflow::EdgeId edge,
     stats_.pairs_reused += pairs_.size();
     stats_.last_cone_pairs = 0;
   }
+  run_certification_();
 }
 
 void IncrementalAnalysis::apply_rho_change_(dataflow::ActorId actor) {
@@ -391,6 +429,11 @@ void IncrementalAnalysis::render_patch_(const std::vector<std::size_t>& dirty,
     render_();
     return;
   }
+  // The lead cone may have moved some ω values; refresh the rendered
+  // leads (trivially copyable, O(V), no allocation in steady state).
+  for (std::size_t i = 0; i < pacing_.actors_in_order.size(); ++i) {
+    analysis_.leads[i] = lead_[pacing_.actors_in_order[i].index()];
+  }
   for (const std::size_t pos : dirty) {
     analysis_.total_capacity =
         checked_add(analysis_.total_capacity,
@@ -406,6 +449,7 @@ void IncrementalAnalysis::render_() {
   // pair order).
   analysis_sized_ = pacing_.ok && rho_ok_;
   analysis_ = GraphAnalysis{};
+  analysis_.rounding = options_.rounding;
   analysis_.diagnostics = pacing_.diagnostics;
   if (!pacing_.ok) {
     return;
@@ -423,6 +467,10 @@ void IncrementalAnalysis::render_() {
       analysis_.diagnostics.push_back(d);
     }
     return;
+  }
+  analysis_.leads.reserve(pacing_.actors_in_order.size());
+  for (const dataflow::ActorId v : pacing_.actors_in_order) {
+    analysis_.leads.push_back(lead_[v.index()]);
   }
   analysis_.pairs = pairs_;
   bool admissible = true;

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/checker.hpp"
 #include "analysis/pacing.hpp"
 #include "analysis/snapshot.hpp"
 #include "analysis/types.hpp"
@@ -68,6 +69,13 @@ struct InvalidationStats {
   std::uint64_t last_cone_actors = 0;
   /// Pairs re-analysed by the most recent query.
   std::uint64_t last_cone_pairs = 0;
+  /// Certification (set_certify): certificates emitted + checked after
+  /// mutating queries, individual clauses validated, and clause
+  /// violations observed (a nonzero count means the incremental cache
+  /// and the independent checker disagree — a bug, not an input error).
+  std::uint64_t certificates_checked = 0;
+  std::uint64_t certificate_clauses = 0;
+  std::uint64_t certificate_violations = 0;
 };
 
 /// Long-lived analysis state over one TopologySnapshot.  analysis() is
@@ -112,6 +120,21 @@ public:
   /// was at capture.
   void set_initial_tokens(dataflow::EdgeId edge, std::int64_t tokens);
 
+  /// Self-checking mode: after every mutating query whose result is
+  /// admissible, emit a certificate of the rendered analysis and run the
+  /// independent checker over it (bind_parameters_to_graph=false — the
+  /// engine's ρ/δ live in its overlay).  The engine stays usable on a
+  /// violation; callers inspect last_certificate_violation() and the
+  /// stats counters.  Admission control uses this as its trust gate.
+  void set_certify(bool enabled);
+  [[nodiscard]] bool certify() const { return certify_enabled_; }
+  /// The first clause violation of the most recent certified query, or
+  /// nullopt when the query was uncertified, inadmissible, or valid.
+  [[nodiscard]] const std::optional<ClauseViolation>&
+  last_certificate_violation() const {
+    return last_violation_;
+  }
+
   [[nodiscard]] const TopologySnapshot& snapshot() const { return snapshot_; }
   [[nodiscard]] const ConstraintSet& constraints() const {
     return constraints_;
@@ -147,6 +170,10 @@ private:
   /// not the sized shape or a per-pair diagnostic changed (the
   /// diagnostics vector and admissibility then need rebuilding).
   void render_patch_(const std::vector<std::size_t>& dirty, bool diag_moved);
+  /// Certification tail of every mutating query: resets
+  /// last_violation_, and when certify mode is on and the rendered
+  /// analysis is admissible, emits + checks its certificate.
+  void run_certification_();
 
   TopologySnapshot snapshot_;
   ConstraintSet constraints_;
@@ -175,6 +202,9 @@ private:
   /// — the precondition for render_patch_.
   bool analysis_sized_ = false;
   InvalidationStats stats_;
+
+  bool certify_enabled_ = false;
+  std::optional<ClauseViolation> last_violation_;
 
   /// Scratch buffers for the retune hot path, kept as members so a
   /// steady-state service loop allocates nothing per query.

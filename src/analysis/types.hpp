@@ -155,11 +155,22 @@ struct GraphAnalysis {
   /// φ(v) per position in actors_in_order: the minimal required difference
   /// between subsequent starts (also the maximal admissible response time).
   std::vector<Duration> pacing;
+  /// Schedule-alignment lead ω(v) per position in actors_in_order — the
+  /// longest-path witness the per-pair Δ terms are derived from (see
+  /// compute_alignment_leads).  Empty unless the analysis reached the
+  /// sized shape (pacing ok and every ρ(v) ≤ φ(v)); recorded so the
+  /// certificate checker can re-verify every pair without re-running the
+  /// longest-path propagation.
+  std::vector<Duration> leads;
   /// One entry per buffer, ordered by the producer's topological position
   /// (chain order on chains).
   std::vector<PairAnalysis> pairs;
   /// Sum of all capacities (containers across all buffers).
   std::int64_t total_capacity = 0;
+  /// The rounding mode the analysis ran with (AnalysisOptions::rounding),
+  /// recorded so certificates and reports can re-derive the per-pair
+  /// rounding without carrying the options alongside the result.
+  RoundingMode rounding = RoundingMode::PaperPublished;
 };
 
 struct AnalysisOptions {

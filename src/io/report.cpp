@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "analysis/certificate.hpp"
+#include "analysis/checker.hpp"
 #include "analysis/deadlock.hpp"
 #include "analysis/period.hpp"
 #include "analysis/robustness.hpp"
@@ -165,6 +167,36 @@ std::string render_report(const dataflow::VrdfGraph& graph,
        << robustness.joint_safe_fraction.to_string()
        << " of its individual slack phi - rho at once.\n";
   }
+
+  // Translation validation: transcribe the analysis into its capacity
+  // certificate and re-validate every clause with the independent
+  // checker.  Analyses from pre-certificate result shapes (no alignment
+  // leads) simply skip the section.
+  if (analysis.leads.size() == analysis.actors_in_order.size() &&
+      !analysis.actors_in_order.empty()) {
+    const analysis::Certificate cert =
+        analysis::make_certificate(graph, analysis);
+    const analysis::CertificateCheck check =
+        analysis::check_certificate(graph, cert);
+    os << "\n## Certificate\n\n"
+       << "Proof-carrying facts: " << cert.actors.size()
+       << " actor witnesses (phi, omega, rho), " << cert.pairs.size()
+       << " pair inequalities, " << cert.constraints.size()
+       << " constraint anchor" << (cert.constraints.size() == 1 ? "" : "s")
+       << ".\n";
+    if (check.ok) {
+      os << "Independent checker: all " << check.clauses_checked
+         << " clauses hold (phi/omega/zeta/delta/coverage) — the "
+            "capacities above are certified, not trusted.\n";
+    } else {
+      os << "Independent checker: " << check.violations.size()
+         << " of " << check.clauses_checked
+         << " clauses VIOLATED — the analysis and the checker disagree:\n";
+      for (const analysis::ClauseViolation& violation : check.violations) {
+        os << "  - " << analysis::describe(violation) << "\n";
+      }
+    }
+  }
   return os.str();
 }
 
@@ -206,6 +238,11 @@ std::string admission_summary(const dataflow::VrdfGraph& graph,
      << ", reused: " << stats.pairs_reused << "\n";
   os << "  - last invalidation cone: " << stats.last_cone_actors
      << " actors, " << stats.last_cone_pairs << " pairs\n";
+  if (controller.require_certificate()) {
+    os << "  - certificates checked: " << stats.certificates_checked << " ("
+       << stats.certificate_clauses << " clauses, "
+       << stats.certificate_violations << " violations)\n";
+  }
   return os.str();
 }
 

@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "analysis/buffer_sizing.hpp"
+#include "analysis/certificate.hpp"
+#include "analysis/checker.hpp"
 #include "analysis/robustness.hpp"
 #include "io/fleet_journal.hpp"
 #include "sim/fault_injection.hpp"
@@ -117,6 +119,10 @@ void tally_item(FleetClassTally& tally, const FleetItemResult& result) {
   }
   tally.faults_expected += result.fault_margin_positive ? 1 : 0;
   tally.faults_named += result.fault_named ? 1 : 0;
+  tally.certified += result.certificate_ok ? 1 : 0;
+  tally.certificate_clauses += result.certificate_clauses;
+  tally.certificate_failures +=
+      (result.certificate_clauses > 0 && !result.certificate_ok) ? 1 : 0;
 }
 
 void write_tally_fields(std::ostringstream& os, const FleetClassTally& t) {
@@ -125,7 +131,10 @@ void write_tally_fields(std::ostringstream& os, const FleetClassTally& t) {
      << " capacity=" << t.total_capacity << " firings=" << t.firings
      << " worst_lateness=" << t.worst_lateness.seconds().to_string()
      << " faults_expected=" << t.faults_expected
-     << " faults_named=" << t.faults_named;
+     << " faults_named=" << t.faults_named
+     << " certified=" << t.certified
+     << " cert_clauses=" << t.certificate_clauses
+     << " cert_failures=" << t.certificate_failures;
 }
 
 [[nodiscard]] std::uint64_t fingerprint_text(const std::string& text,
@@ -159,6 +168,8 @@ std::string encode_item_line(const FleetItemResult& result) {
      << " lateness=" << result.max_lateness.seconds().to_string()
      << " fault_expected=" << (result.fault_margin_positive ? 1 : 0)
      << " fault_named=" << (result.fault_named ? 1 : 0)
+     << " cert_clauses=" << result.certificate_clauses
+     << " cert_ok=" << (result.certificate_ok ? 1 : 0)
      << " detail=" << escape_detail(result.detail);
   return os.str();
 }
@@ -196,7 +207,9 @@ bool decode_item_line(const std::string& line, FleetItemResult* result) {
       !fields.next_int("firings", &decoded.firings) ||
       !fields.next("lateness", &lateness_text) ||
       !fields.next_bool("fault_expected", &decoded.fault_margin_positive) ||
-      !fields.next_bool("fault_named", &decoded.fault_named)) {
+      !fields.next_bool("fault_named", &decoded.fault_named) ||
+      !fields.next_int("cert_clauses", &decoded.certificate_clauses) ||
+      !fields.next_bool("cert_ok", &decoded.certificate_ok)) {
     return false;
   }
   const auto model_class = models::parse_model_class(class_text);
@@ -272,6 +285,7 @@ FleetSweep::FleetSweep(SweepSpec spec) : spec_(std::move(spec)) {
      << " zero=" << spec_.zero_percent
      << " observe=" << spec_.observe_firings
      << " faulted=" << (spec_.faulted ? 1 : 0)
+     << " certify=" << (spec_.certify ? 1 : 0)
      << " generator=" << (spec_.generator ? "custom" : "default")
      << " items=" << items_.size();
   spec_summary_ = os.str();
@@ -305,6 +319,21 @@ FleetItemResult FleetSweep::run_item(const FleetItem& item) const {
       return result;
     }
     result.total_capacity = sized.total_capacity;
+    if (spec_.certify) {
+      // Certify before capacities/headroom install: the certificate's
+      // parameter binding (ρ/δ) is against the analysed graph.
+      const analysis::Certificate cert =
+          analysis::make_certificate(model.graph, sized);
+      const analysis::CertificateCheck check =
+          analysis::check_certificate(model.graph, cert);
+      result.certificate_clauses =
+          static_cast<std::int64_t>(check.clauses_checked);
+      result.certificate_ok = check.ok;
+      if (!check.ok) {
+        result.detail = "certificate: " + check.first_violation();
+        return result;
+      }
+    }
     analysis::apply_capacities(model.graph, sized);
     if (item.headroom > 0) {
       for (const analysis::PairAnalysis& pair : sized.pairs) {
@@ -452,6 +481,9 @@ FleetReport FleetSweep::run(std::size_t threads,
     }
     report.faults_expected += tally.faults_expected;
     report.faults_named += tally.faults_named;
+    report.certified += tally.certified;
+    report.certificate_clauses += tally.certificate_clauses;
+    report.certificate_failures += tally.certificate_failures;
   }
   report.items = std::move(results);
 
@@ -487,6 +519,9 @@ std::string canonical_text(const FleetReport& report, bool include_items) {
   totals.worst_lateness = report.worst_lateness;
   totals.faults_expected = report.faults_expected;
   totals.faults_named = report.faults_named;
+  totals.certified = report.certified;
+  totals.certificate_clauses = report.certificate_clauses;
+  totals.certificate_failures = report.certificate_failures;
   os << "total ";
   write_tally_fields(os, totals);
   os << '\n';

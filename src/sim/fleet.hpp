@@ -90,6 +90,12 @@ struct SweepSpec {
   /// and verifies under the ConformanceMonitor — the constraint must
   /// still hold while the monitor names the breach.
   bool faulted = false;
+  /// Certify sweep: each admissible analysis is transcribed into a
+  /// capacity certificate and re-validated by the independent checker
+  /// (analysis/checker.hpp) before capacities are installed.  A clause
+  /// violation fails the item with the violated clause in `detail`
+  /// (checker/analyzer disagreement — a bug, not an input property).
+  bool certify = false;
   /// Optional custom generator (e.g. to preserve a published per-seed
   /// shape schedule).  Must be a *pure* function of the item — it is
   /// called concurrently from pool workers.  Return the bare model
@@ -124,6 +130,11 @@ struct FleetItemResult {
   /// attributed the ρ breach to the faulted actor.
   bool fault_margin_positive = false;
   bool fault_named = false;
+  /// Certify mode: clauses the checker validated for this item's
+  /// certificate (0 when uncertified or rejected before analysis), and
+  /// whether the certificate passed.
+  std::int64_t certificate_clauses = 0;
+  bool certificate_ok = false;
   /// Empty on pass; diagnostics otherwise (newlines preserved).
   std::string detail;
 };
@@ -149,6 +160,11 @@ struct FleetClassTally {
   /// breach the monitor named.
   std::int64_t faults_expected = 0;
   std::int64_t faults_named = 0;
+  /// Certify mode: items whose certificate passed the checker, clauses
+  /// validated in total, and items whose certificate was rejected.
+  std::int64_t certified = 0;
+  std::int64_t certificate_clauses = 0;
+  std::int64_t certificate_failures = 0;
 };
 
 struct FleetReport {
@@ -168,6 +184,9 @@ struct FleetReport {
   Duration worst_lateness;
   std::int64_t faults_expected = 0;
   std::int64_t faults_named = 0;
+  std::int64_t certified = 0;
+  std::int64_t certificate_clauses = 0;
+  std::int64_t certificate_failures = 0;
   // ---- wall-clock section: excluded from canonical_text() ----
   double elapsed_seconds = 0.0;
   double firings_per_second = 0.0;

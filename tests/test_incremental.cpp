@@ -43,7 +43,9 @@ void expect_identical(const GraphAnalysis& got, const GraphAnalysis& want) {
   EXPECT_EQ(got.is_cyclic, want.is_cyclic);
   EXPECT_EQ(got.actors_in_order, want.actors_in_order);
   EXPECT_EQ(got.pacing, want.pacing);
+  EXPECT_EQ(got.leads, want.leads);
   EXPECT_EQ(got.total_capacity, want.total_capacity);
+  EXPECT_EQ(got.rounding, want.rounding);
   ASSERT_EQ(got.pairs.size(), want.pairs.size());
   for (std::size_t i = 0; i < got.pairs.size(); ++i) {
     const PairAnalysis& g = got.pairs[i];
@@ -80,6 +82,10 @@ void run_differential_sequence(models::ModelClass model_class,
   ASSERT_TRUE(snapshot.ok());
   const AnalysisOptions options;
   IncrementalAnalysis engine(snapshot, model.constraints, options);
+  // Certify every admissible post-op state: the emitted certificate must
+  // pass the independent checker after each incremental patch, or the
+  // patching reassembled something the full analysis would not produce.
+  engine.set_certify(true);
   std::mt19937_64 rng(seed * 977 + static_cast<std::uint64_t>(model_class));
 
   // The oracle: a full recompute over the same snapshot, constraint set
@@ -209,6 +215,12 @@ void run_differential_sequence(models::ModelClass model_class,
       }
     }
   }
+  EXPECT_EQ(engine.stats().certificate_violations, 0u)
+      << "class " << static_cast<int>(model_class) << ", seed " << seed
+      << ": "
+      << (engine.last_certificate_violation().has_value()
+              ? describe(*engine.last_certificate_violation())
+              : std::string());
 }
 
 TEST(IncrementalDifferential, ChainSweepMatchesFullRecompute) {
