@@ -63,6 +63,40 @@ struct PairFact {
   std::int64_t capacity = 0;
 };
 
+/// κ-derivation policy recorded in a platform clause.  TdmSlotGranular
+/// and RoundRobin are the policy-exact bounds; the LatencyRate variants
+/// are the (conservative) latency-rate abstractions of the same arbiter
+/// terms.
+enum class ServicePolicy {
+  TdmSlotGranular,
+  TdmLatencyRate,
+  RoundRobin,
+  RoundRobinLatencyRate,
+};
+
+[[nodiscard]] const char* service_policy_name(ServicePolicy policy);
+
+/// Per-actor κ-derivation fact for deployed analyses: the arbiter terms
+/// (slot, wheel, WCET, ceil term / Σ-WCET) and the derived κ, which must
+/// equal the ρ recorded in the actor's ActorFact.  The checker re-derives
+/// κ from the terms in exact Rationals (ClauseKind::Kappa) without any
+/// sched includes — the platform clause is self-contained.
+struct PlatformFact {
+  dataflow::ActorId actor;
+  ServicePolicy policy = ServicePolicy::TdmSlotGranular;
+  /// The task's own worst-case execution time C.
+  Duration wcet;
+  /// TDM terms (zero for round-robin policies).
+  Duration slot;
+  Duration wheel;
+  /// Round-robin term: Σ WCET over the processor's tasks (zero for TDM).
+  Duration total_wcet;
+  /// TDM slot-granular: the ⌈C/slot⌉ witness; 0 otherwise.
+  std::int64_t ceil_term = 0;
+  /// Derived κ — the ρ the analysis ran with.
+  Duration kappa;
+};
+
 /// The complete certificate of one admissible analysis.
 struct Certificate {
   ConstraintSet constraints;
@@ -74,6 +108,10 @@ struct Certificate {
   std::vector<ActorFact> actors;
   /// One entry per buffer, in the analysis' pair order.
   std::vector<PairFact> pairs;
+  /// Platform clause: κ-derivation facts, one per deployed actor.  Empty
+  /// for undeployed analyses (the clause is then vacuously valid).  Filled
+  /// by analysis/deployment.cpp via attach_platform_clause().
+  std::vector<PlatformFact> platform;
   std::int64_t total_capacity = 0;
 };
 

@@ -104,6 +104,7 @@ class Checker {
       if (check_structure_()) {
         derive_coverage_();
         check_parameters_();
+        check_platform_();
         check_phi_();
         check_omega_();
         check_pairs_();
@@ -538,6 +539,88 @@ class Checker {
     }
   }
 
+  // ------------------------------------------------------------------ κ
+
+  /// Platform clause of deployed analyses: re-derives each recorded κ
+  /// from the arbiter terms alone (no sched includes — the clause is
+  /// self-contained) and links it to the ρ the capacity clauses used.
+  /// Vacuously valid for undeployed certificates (no platform facts).
+  void check_platform_() {
+    std::vector<char> seen(graph_.actor_count(), 0);
+    for (const PlatformFact& fact : cert_.platform) {
+      if (!expect_(fact.actor.index() < graph_.actor_count(),
+                   ClauseKind::Kappa, "certificate", "", "",
+                   "platform fact references an actor outside the graph")) {
+        continue;
+      }
+      const std::string subject = actor_subject_(fact.actor);
+      if (!expect_(seen[fact.actor.index()] == 0, ClauseKind::Kappa, subject,
+                   "", "", "duplicate platform fact for one actor")) {
+        continue;
+      }
+      seen[fact.actor.index()] = 1;
+      if (!expect_(fact.wcet.is_positive(), ClauseKind::Kappa, subject,
+                   dur(fact.wcet), "> 0 s",
+                   "platform WCET must be positive")) {
+        continue;
+      }
+      const bool tdm = fact.policy == ServicePolicy::TdmSlotGranular ||
+                       fact.policy == ServicePolicy::TdmLatencyRate;
+      Duration kappa;
+      if (tdm) {
+        if (!expect_(fact.slot.is_positive() && fact.slot <= fact.wheel,
+                     ClauseKind::Kappa, subject, dur(fact.slot),
+                     dur(fact.wheel),
+                     "TDM slot must be positive and no larger than the "
+                     "wheel period")) {
+          continue;
+        }
+        if (fact.policy == ServicePolicy::TdmSlotGranular) {
+          // ⌈C/slot⌉ witness: ceil_term − 1 < C/slot ≤ ceil_term, checked
+          // as pure inequalities so the checker needs no ceiling code.
+          const Rational chunks = fact.wcet.seconds() / fact.slot.seconds();
+          const bool witness = Rational(fact.ceil_term) >= chunks &&
+                               Rational(fact.ceil_term) - Rational(1) < chunks;
+          if (!expect_(witness, ClauseKind::Kappa, subject,
+                       num(fact.ceil_term), chunks.to_string(),
+                       "ceil term is not the ceiling of WCET/slot")) {
+            continue;
+          }
+          kappa = (fact.wheel - fact.slot) * Rational(fact.ceil_term) +
+                  fact.wcet;
+        } else {
+          // Latency-rate abstraction of the wheel:
+          // κ = (wheel − slot) + C·wheel/slot.
+          kappa = (fact.wheel - fact.slot) +
+                  fact.wcet * (fact.wheel.seconds() / fact.slot.seconds());
+        }
+      } else {
+        if (!expect_(fact.total_wcet >= fact.wcet, ClauseKind::Kappa,
+                     subject, dur(fact.total_wcet), dur(fact.wcet),
+                     "round-robin total WCET must cover the task's own "
+                     "WCET")) {
+          continue;
+        }
+        if (fact.policy == ServicePolicy::RoundRobin) {
+          kappa = fact.total_wcet;
+        } else {
+          // Latency-rate abstraction of the round: latency = Σ − C,
+          // rate = C/Σ, so κ = (Σ − C) + C·Σ/C = 2Σ − C.
+          kappa = fact.total_wcet * Rational(2) - fact.wcet;
+        }
+      }
+      expect_(fact.kappa == kappa, ClauseKind::Kappa, subject,
+              dur(fact.kappa), dur(kappa),
+              std::string("recorded kappa does not equal the ") +
+                  service_policy_name(fact.policy) +
+                  " bound re-derived from the arbiter terms");
+      expect_(fact.kappa == fact_(fact.actor).rho, ClauseKind::Kappa,
+              subject, dur(fact.kappa), dur(fact_(fact.actor).rho),
+              "platform kappa does not equal the response time the "
+              "capacity clauses ran with");
+    }
+  }
+
   // ----------------------------------------------------------------- φ
 
   void check_phi_() {
@@ -814,6 +897,7 @@ const char* clause_kind_name(ClauseKind kind) {
     case ClauseKind::Zeta: return "zeta";
     case ClauseKind::Delta: return "delta";
     case ClauseKind::Coverage: return "coverage";
+    case ClauseKind::Kappa: return "kappa";
   }
   return "unknown";
 }

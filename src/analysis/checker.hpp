@@ -28,7 +28,7 @@
 
 namespace vrdf::analysis {
 
-/// The five clause families of a certificate.
+/// The six clause families of a certificate.
 enum class ClauseKind {
   /// Pacing witnesses: φ > 0, ρ ≤ φ, φ(constrained) = τ, the per-edge
   /// demand equalities, zero-quantum guards and back-edge flow balance.
@@ -46,6 +46,10 @@ enum class ClauseKind {
   /// order, anchor kinds, per-edge pacing sides, variable-rate
   /// placement, constraint coupling and parameter binding.
   Coverage,
+  /// Platform clause of deployed analyses: each recorded κ re-derived
+  /// from its arbiter terms (slot, wheel, WCET, ceil term / Σ-WCET) in
+  /// exact Rationals, and linked to the ρ the capacity clauses ran with.
+  Kappa,
 };
 
 [[nodiscard]] const char* clause_kind_name(ClauseKind kind);

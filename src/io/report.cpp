@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/buffer_sizing.hpp"
 #include "analysis/certificate.hpp"
 #include "analysis/checker.hpp"
 #include "analysis/deadlock.hpp"
@@ -243,6 +244,80 @@ std::string admission_summary(const dataflow::VrdfGraph& graph,
        << stats.certificate_clauses << " clauses, "
        << stats.certificate_violations << " violations)\n";
   }
+  return os.str();
+}
+
+std::string deployment_report(const taskgraph::TaskGraph& tasks,
+                              const sched::Platform& platform,
+                              const analysis::DeploymentResult& result) {
+  std::ostringstream os;
+  os << "# Shared-platform deployment report\n\n";
+
+  os << "## Platform\n\n";
+  Table procs({"processor", "arbiter", "wheel (s)", "utilization", "slack (s)"});
+  for (std::size_t p = 0; p < platform.processor_count(); ++p) {
+    procs.add_row({platform.processor_name(p),
+                   sched::arbiter_policy_name(platform.policy(p)),
+                   platform.wheel_period(p).seconds().to_string(),
+                   platform.utilization(p).to_string(),
+                   platform.slack(p).seconds().to_string()});
+  }
+  os << procs.to_string() << '\n';
+
+  os << "## Derived response times\n\n";
+  Table kappas({"task", "processor", "policy", "wcet (s)", "allocation",
+                "derivation", "kappa (s)"});
+  for (const analysis::DerivedKappa& derived : result.kappas) {
+    const sched::ServiceModel& service = derived.service;
+    const std::string allocation =
+        service.policy == sched::ArbiterPolicy::Tdm
+            ? service.slot.seconds().to_string() + " / " +
+                  service.wheel.seconds().to_string()
+            : "sum " + service.total_wcet.seconds().to_string();
+    kappas.add_row({derived.task_name,
+                    platform.processor_name(derived.processor),
+                    sched::arbiter_policy_name(service.policy),
+                    service.wcet.seconds().to_string(), allocation,
+                    analysis::kappa_derivation_name(derived.derivation),
+                    derived.kappa.seconds().to_string()});
+  }
+  os << kappas.to_string() << '\n';
+  os << "Task graph: " << tasks.task_count() << " tasks, "
+     << tasks.buffer_count() << " buffers.\n\n";
+
+  if (!result.admissible) {
+    os << "## Verdict\n\nDeployment INADMISSIBLE:\n";
+    for (const std::string& diagnostic : result.diagnostics) {
+      os << "  - " << diagnostic << "\n";
+    }
+    return os.str();
+  }
+
+  if (result.certificate_check.has_value()) {
+    os << "## Platform certificate\n\n";
+    if (result.certificate_check->ok) {
+      os << "Independent checker: all "
+         << result.certificate_check->clauses_checked
+         << " clauses hold, including the kappa clauses re-deriving each "
+            "task's bound from its arbiter terms.\n\n";
+    } else {
+      os << "Independent checker: "
+         << result.certificate_check->violations.size() << " of "
+         << result.certificate_check->clauses_checked
+         << " clauses VIOLATED:\n";
+      for (const analysis::ClauseViolation& violation :
+           result.certificate_check->violations) {
+        os << "  - " << analysis::describe(violation) << "\n";
+      }
+      os << '\n';
+    }
+  }
+
+  // Render against a copy with the computed capacities installed — the
+  // deployment result itself leaves ζ unset on the constructed graph.
+  dataflow::VrdfGraph sized = result.construction.graph;
+  analysis::apply_capacities(sized, result.analysis);
+  os << render_report(sized, result.constraints, result.analysis);
   return os.str();
 }
 

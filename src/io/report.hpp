@@ -8,8 +8,11 @@
 #include <string>
 
 #include "analysis/admission.hpp"
+#include "analysis/deployment.hpp"
 #include "analysis/types.hpp"
 #include "dataflow/vrdf_graph.hpp"
+#include "sched/platform.hpp"
+#include "taskgraph/task_graph.hpp"
 
 namespace vrdf::io {
 
@@ -38,5 +41,14 @@ namespace vrdf::io {
 [[nodiscard]] std::string admission_summary(
     const dataflow::VrdfGraph& graph,
     const analysis::AdmissionController& controller);
+
+/// Deployment report: the platform table (per-processor arbiter policy,
+/// wheel, utilization, slack), the derived-κ table (each task's binding
+/// terms and the response-time bound the analysis ran with), then — for
+/// admissible deployments — the full analysis report of the constructed
+/// graph.  Inadmissible deployments render the diagnostics instead.
+[[nodiscard]] std::string deployment_report(
+    const taskgraph::TaskGraph& tasks, const sched::Platform& platform,
+    const analysis::DeploymentResult& result);
 
 }  // namespace vrdf::io

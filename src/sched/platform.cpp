@@ -4,54 +4,145 @@
 
 namespace vrdf::sched {
 
-std::size_t Platform::add_processor(std::string name, Duration wheel_period) {
+std::size_t Platform::add_processor(std::string name, Duration wheel_period,
+                                    ArbiterPolicy policy) {
   VRDF_REQUIRE(!name.empty(), "processor name must be non-empty");
   VRDF_REQUIRE(wheel_period.is_positive(), "wheel period must be positive");
   for (const Processor& p : processors_) {
     VRDF_REQUIRE(p.name != name, "processor name '" + name + "' already used");
   }
-  processors_.push_back(Processor{std::move(name), wheel_period, Duration()});
+  processors_.push_back(
+      Processor{std::move(name), wheel_period, Duration(), policy});
   return processors_.size() - 1;
 }
 
 void Platform::bind_task(const std::string& task, std::size_t processor,
                          Duration slot, Duration wcet) {
-  VRDF_REQUIRE(processor < processors_.size(), "processor index out of range");
-  VRDF_REQUIRE(slot.is_positive(), "slot budget must be positive");
-  VRDF_REQUIRE(wcet.is_positive(), "WCET must be positive");
+  bind_(task, processor, slot, wcet, ArbiterPolicy::Tdm);
+}
+
+void Platform::bind_task(const std::string& task, std::size_t processor,
+                         Duration wcet) {
+  // A round-robin binding's "slot" is the WCET itself: the load the
+  // processor's budget accounts.
+  bind_(task, processor, wcet, wcet, ArbiterPolicy::RoundRobin);
+}
+
+void Platform::bind_(const std::string& task, std::size_t processor,
+                     Duration slot, Duration wcet,
+                     ArbiterPolicy expected_policy) {
+  const Processor& checked = checked_processor_(processor);
+  VRDF_REQUIRE(checked.policy == expected_policy,
+               "processor '" + checked.name + "' runs a " +
+                   arbiter_policy_name(checked.policy) +
+                   " arbiter; use the matching bind_task overload for task '" +
+                   task + "'");
+  VRDF_REQUIRE(slot.is_positive(), "slot budget of task '" + task +
+                                       "' must be positive");
+  VRDF_REQUIRE(wcet.is_positive(),
+               "WCET of task '" + task + "' must be positive");
   VRDF_REQUIRE(find_binding(task) == nullptr,
                "task '" + task + "' is already bound");
   Processor& proc = processors_[processor];
   const Duration after = proc.allocated + slot;
   VRDF_REQUIRE(after <= proc.wheel_period,
-               "TDM wheel of processor '" + proc.name +
-                   "' oversubscribed by binding task '" + task + "'");
+               std::string(proc.policy == ArbiterPolicy::Tdm
+                               ? "TDM wheel of processor '"
+                               : "round-robin load budget of processor '") +
+                   proc.name + "' oversubscribed by binding task '" + task +
+                   "'");
   proc.allocated = after;
   bindings_.push_back(Binding{task, processor, slot, wcet});
 }
 
+void Platform::set_slot(const std::string& task, Duration slot) {
+  VRDF_REQUIRE(slot.is_positive(), "slot budget of task '" + task +
+                                       "' must be positive");
+  Binding* binding = nullptr;
+  for (Binding& b : bindings_) {
+    if (b.task == task) {
+      binding = &b;
+      break;
+    }
+  }
+  VRDF_REQUIRE(binding != nullptr, "task '" + task + "' is not bound");
+  Processor& proc = processors_[binding->processor];
+  VRDF_REQUIRE(proc.policy == ArbiterPolicy::Tdm,
+               "task '" + task + "' runs under " +
+                   arbiter_policy_name(proc.policy) + " on processor '" +
+                   proc.name + "'; only TDM slots can be retuned");
+  const Duration after = proc.allocated - binding->slot + slot;
+  VRDF_REQUIRE(after <= proc.wheel_period,
+               "TDM wheel of processor '" + proc.name +
+                   "' oversubscribed by retuning the slot of task '" + task +
+                   "'");
+  proc.allocated = after;
+  binding->slot = slot;
+}
+
 const std::string& Platform::processor_name(std::size_t index) const {
-  VRDF_REQUIRE(index < processors_.size(), "processor index out of range");
-  return processors_[index].name;
+  return checked_processor_(index).name;
+}
+
+ArbiterPolicy Platform::policy(std::size_t index) const {
+  return checked_processor_(index).policy;
+}
+
+Duration Platform::wheel_period(std::size_t index) const {
+  return checked_processor_(index).wheel_period;
 }
 
 Duration Platform::slack(std::size_t processor) const {
-  VRDF_REQUIRE(processor < processors_.size(), "processor index out of range");
-  return processors_[processor].wheel_period - processors_[processor].allocated;
+  const Processor& proc = checked_processor_(processor);
+  return proc.wheel_period - proc.allocated;
+}
+
+ServiceModel Platform::service_model(const std::string& task) const {
+  const Binding* binding = find_binding(task);
+  VRDF_REQUIRE(binding != nullptr, "task '" + task + "' is not bound");
+  const Processor& proc = processors_[binding->processor];
+  ServiceModel model;
+  model.policy = proc.policy;
+  model.wcet = binding->wcet;
+  if (proc.policy == ArbiterPolicy::Tdm) {
+    model.slot = binding->slot;
+    model.wheel = proc.wheel_period;
+  } else {
+    for (const Binding& peer : bindings_) {
+      if (peer.processor == binding->processor) {
+        model.total_wcet += peer.wcet;
+      }
+    }
+  }
+  return model;
 }
 
 Duration Platform::response_time(const std::string& task) const {
+  return service_model(task).response_time();
+}
+
+std::size_t Platform::processor_of(const std::string& task) const {
   const Binding* binding = find_binding(task);
   VRDF_REQUIRE(binding != nullptr, "task '" + task + "' is not bound");
-  const TdmAllocation tdm{binding->slot,
-                          processors_[binding->processor].wheel_period};
-  return tdm.response_time(binding->wcet);
+  return binding->processor;
+}
+
+bool Platform::is_bound(const std::string& task) const {
+  return find_binding(task) != nullptr;
 }
 
 Rational Platform::utilization(std::size_t processor) const {
-  VRDF_REQUIRE(processor < processors_.size(), "processor index out of range");
-  return processors_[processor].allocated.seconds() /
-         processors_[processor].wheel_period.seconds();
+  const Processor& proc = checked_processor_(processor);
+  return proc.allocated.seconds() / proc.wheel_period.seconds();
+}
+
+const Platform::Processor& Platform::checked_processor_(
+    std::size_t index) const {
+  VRDF_REQUIRE(index < processors_.size(),
+               "processor index " + std::to_string(index) +
+                   " out of range (platform has " +
+                   std::to_string(processors_.size()) + " processors)");
+  return processors_[index];
 }
 
 const Platform::Binding* Platform::find_binding(const std::string& task) const {

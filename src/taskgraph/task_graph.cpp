@@ -85,11 +85,28 @@ std::optional<TaskGraph::ChainOrder> TaskGraph::chain_order() const {
 }
 
 VrdfConstruction TaskGraph::to_vrdf() const {
+  std::vector<Duration> response_times;
+  response_times.reserve(tasks_.size());
+  for (const Task& t : tasks_) {
+    response_times.push_back(t.worst_case_response_time);
+  }
+  return to_vrdf(response_times);
+}
+
+VrdfConstruction TaskGraph::to_vrdf(
+    const std::vector<Duration>& response_times) const {
+  VRDF_REQUIRE(response_times.size() == tasks_.size(),
+               "response-time vector must have one entry per task (" +
+                   std::to_string(response_times.size()) + " given, " +
+                   std::to_string(tasks_.size()) + " tasks)");
   VrdfConstruction out;
   out.actor_of_task.reserve(tasks_.size());
-  for (const Task& t : tasks_) {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    VRDF_REQUIRE(response_times[i].is_positive(),
+                 "response time of task '" + tasks_[i].name +
+                     "' must be positive");
     out.actor_of_task.push_back(
-        out.graph.add_actor(t.name, t.worst_case_response_time));
+        out.graph.add_actor(tasks_[i].name, response_times[i]));
   }
   out.edges_of_buffer.reserve(buffers_.size());
   for (const Buffer& b : buffers_) {

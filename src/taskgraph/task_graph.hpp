@@ -87,6 +87,13 @@ public:
   /// Buffers with unset capacity get δ = 0 (analysis will fill them in).
   [[nodiscard]] VrdfConstruction to_vrdf() const;
 
+  /// As to_vrdf(), but with ρ(v) taken from `response_times` (indexed by
+  /// TaskId) instead of the stored κ — the deployment path derives κ from
+  /// the platform's arbiters and injects it here.  The vector must have
+  /// one positive entry per task.
+  [[nodiscard]] VrdfConstruction to_vrdf(
+      const std::vector<Duration>& response_times) const;
+
 private:
   graph::Digraph topology_;  // one node per task, one edge per buffer
   std::vector<Task> tasks_;

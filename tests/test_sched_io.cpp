@@ -2,6 +2,8 @@
 // (DOT export, text round-trip, table writer).
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "analysis/buffer_sizing.hpp"
 #include "io/dot.hpp"
 #include "io/report.hpp"
@@ -217,6 +219,97 @@ TEST(Table, RendersAlignedColumns) {
   EXPECT_NE(rendered.find("| buffer | paper | ours |"), std::string::npos);
   EXPECT_NE(rendered.find("| d1     | 6015  | 6015 |"), std::string::npos);
   EXPECT_THROW(table.add_row({"too", "few"}), ContractError);
+}
+
+// ---- PR 10 satellites: latency-rate dominance property, error paths
+
+TEST(ArbiterProperty, LatencyRateDominatesSlotGranularTdm) {
+  // Randomized (slot, period, C): the latency-rate abstraction of a TDM
+  // allocation is never tighter than the slot-granular bound.
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::int64_t> sixteenths(1, 16);
+  std::uniform_int_distribution<std::int64_t> wcet_64ths(1, 128);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t s = sixteenths(rng);
+    const Duration period = milliseconds(Rational(1 + trial % 7));
+    const Duration slot(period.seconds() * Rational(s, 16));
+    const Duration wcet(period.seconds() * Rational(wcet_64ths(rng), 64));
+    const sched::TdmAllocation tdm{slot, period};
+    const Duration exact = tdm.response_time(wcet);
+    const Duration abstracted = tdm.as_latency_rate().response_time(wcet);
+    EXPECT_FALSE((abstracted - exact).is_negative())
+        << "slot " << s << "/16, wcet " << wcet.seconds().to_string()
+        << " s: latency-rate " << abstracted.seconds().to_string()
+        << " < slot-granular " << exact.seconds().to_string();
+  }
+}
+
+TEST(ArbiterProperty, LatencyRateDominatesRoundRobinServiceModel) {
+  // Same property through the uniform ServiceModel, round-robin side:
+  // 2Σ − C ≥ Σ for any C ≤ Σ.
+  std::mt19937_64 rng(43);
+  std::uniform_int_distribution<std::int64_t> wcet_64ths(1, 64);
+  for (int trial = 0; trial < 200; ++trial) {
+    sched::ServiceModel model;
+    model.policy = sched::ArbiterPolicy::RoundRobin;
+    const std::int64_t own = wcet_64ths(rng);
+    model.wcet = milliseconds(Rational(own, 64));
+    model.total_wcet = milliseconds(Rational(own + wcet_64ths(rng), 64));
+    const Duration exact = model.response_time();
+    const Duration abstracted =
+        model.as_latency_rate().response_time(model.wcet);
+    EXPECT_FALSE((abstracted - exact).is_negative());
+  }
+}
+
+TEST(Platform, UnknownTaskAndProcessorErrorsAreLineAttributable) {
+  sched::Platform platform;
+  const auto cpu =
+      platform.add_processor("cpu0", milliseconds(Rational(1)));
+  platform.bind_task("known", cpu, milliseconds(Rational(1, 4)),
+                     milliseconds(Rational(1, 8)));
+
+  // Unknown task: the error names the task and carries the PR 4
+  // file:line attribution suffix.
+  try {
+    (void)platform.response_time("ghost");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task 'ghost' is not bound"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("sched/platform.cpp:"), std::string::npos) << what;
+  }
+
+  // Out-of-range processor: the error names the index and the count.
+  try {
+    platform.bind_task("late", 7, milliseconds(Rational(1, 4)),
+                       milliseconds(Rational(1, 8)));
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(
+        what.find("processor index 7 out of range (platform has 1 processor"),
+        std::string::npos)
+        << what;
+    EXPECT_NE(what.find("sched/platform.cpp:"), std::string::npos) << what;
+  }
+
+  EXPECT_THROW((void)platform.service_model("ghost"), ContractError);
+  EXPECT_THROW(platform.set_slot("ghost", milliseconds(Rational(1, 4))),
+               ContractError);
+  EXPECT_THROW((void)platform.wheel_period(3), ContractError);
+  EXPECT_THROW((void)platform.slack(3), ContractError);
+
+  // Policy-mismatched bind overloads are rejected naming both sides.
+  try {
+    platform.bind_task("rr-style", cpu, milliseconds(Rational(1, 8)));
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("runs a tdm arbiter"), std::string::npos) << what;
+    EXPECT_NE(what.find("rr-style"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

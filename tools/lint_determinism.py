@@ -44,11 +44,13 @@ import sys
 from pathlib import Path
 
 # Files whose output participates in a canonical (bit-stable) byte
-# stream: the fleet report/codec, the resumable journal, and the graph
-# text format.
+# stream: the fleet report/codec, the deployment frontier report, the
+# resumable journal, and the graph text format.
 CANONICAL_FILES = (
     "src/sim/fleet.cpp",
     "src/sim/fleet.hpp",
+    "src/sim/deployment_frontier.cpp",
+    "src/sim/deployment_frontier.hpp",
     "src/io/fleet_journal.cpp",
     "src/io/fleet_journal.hpp",
     "src/io/text_format.cpp",
